@@ -1,0 +1,118 @@
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// target per artifact (DESIGN.md §3). Each bench runs the corresponding
+// experiment in quick mode so `go test -bench=.` finishes in reasonable
+// time; the full-scale tables are produced by `go run ./cmd/hicsbench all`.
+package hics
+
+import (
+	"io"
+	"testing"
+
+	"hics/internal/experiments"
+)
+
+// benchRun regenerates one experiment per iteration with a fixed seed.
+// The seed must stay fixed: Fig4 and Fig5 share a memoized sweep, and a
+// per-iteration seed would turn every re-scaled benchmark iteration into a
+// full fresh sweep, inflating the run from seconds to many minutes.
+func benchRun(b *testing.B, name string) {
+	b.Helper()
+	fn, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4QualityVsDims regenerates Fig. 4 (AUC vs dimensionality,
+// all seven competitors).
+func BenchmarkFig4QualityVsDims(b *testing.B) { benchRun(b, "fig4") }
+
+// BenchmarkFig5RuntimeVsDims regenerates Fig. 5 (runtime vs
+// dimensionality, subspace methods).
+func BenchmarkFig5RuntimeVsDims(b *testing.B) { benchRun(b, "fig5") }
+
+// BenchmarkFig6RuntimeVsSize regenerates Fig. 6 (runtime vs DB size).
+func BenchmarkFig6RuntimeVsSize(b *testing.B) { benchRun(b, "fig6") }
+
+// BenchmarkFig7MonteCarloIterations regenerates Fig. 7 (AUC vs M).
+func BenchmarkFig7MonteCarloIterations(b *testing.B) { benchRun(b, "fig7") }
+
+// BenchmarkFig8AlphaSweep regenerates Fig. 8 (AUC vs α).
+func BenchmarkFig8AlphaSweep(b *testing.B) { benchRun(b, "fig8") }
+
+// BenchmarkFig9CandidateCutoff regenerates Fig. 9 (AUC and runtime vs
+// candidate cutoff).
+func BenchmarkFig9CandidateCutoff(b *testing.B) { benchRun(b, "fig9") }
+
+// BenchmarkFig10ROCCurves regenerates Fig. 10 (ROC curves on the
+// Ionosphere and Pendigits analogs).
+func BenchmarkFig10ROCCurves(b *testing.B) { benchRun(b, "fig10") }
+
+// BenchmarkFig11RealWorld regenerates Fig. 11 (the real-world results
+// table over all eight simulated UCI datasets).
+func BenchmarkFig11RealWorld(b *testing.B) { benchRun(b, "fig11") }
+
+// BenchmarkAblationWTvsKS compares the two statistical instantiations
+// (DESIGN.md ablation 1).
+func BenchmarkAblationWTvsKS(b *testing.B) { benchRun(b, "abl-test") }
+
+// BenchmarkAblationAggregation compares average vs max aggregation
+// (DESIGN.md ablation 2).
+func BenchmarkAblationAggregation(b *testing.B) { benchRun(b, "abl-agg") }
+
+// BenchmarkAblationPruning compares redundancy pruning on/off
+// (DESIGN.md ablation 4).
+func BenchmarkAblationPruning(b *testing.B) { benchRun(b, "abl-prune") }
+
+// BenchmarkAblationScorer compares the LOF and kNN-distance ranking steps
+// (the paper's future-work extension).
+func BenchmarkAblationScorer(b *testing.B) { benchRun(b, "abl-scorer") }
+
+// BenchmarkExtTests compares all four statistical contrast instantiations
+// (the paper's two plus Mann–Whitney and Cramér–von Mises).
+func BenchmarkExtTests(b *testing.B) { benchRun(b, "ext-tests") }
+
+// BenchmarkExtScorers compares the ranking-step scorers, including the
+// future-work ORCA and OUTRES instantiations.
+func BenchmarkExtScorers(b *testing.B) { benchRun(b, "ext-scorers") }
+
+// BenchmarkExtSearchers compares the subspace searchers including SURFING.
+func BenchmarkExtSearchers(b *testing.B) { benchRun(b, "ext-search") }
+
+// BenchmarkExtPrecision reports precision-oriented quality metrics.
+func BenchmarkExtPrecision(b *testing.B) { benchRun(b, "ext-prec") }
+
+// BenchmarkRankEndToEnd measures the complete public-API pipeline on a
+// mid-size synthetic dataset — the library's end-to-end cost per call.
+func BenchmarkRankEndToEnd(b *testing.B) {
+	rows := make([][]float64, 300)
+	s := uint64(12345)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	for i := range rows {
+		row := make([]float64, 10)
+		base := next()
+		row[0] = base
+		row[1] = base + 0.05*next()
+		for j := 2; j < 10; j++ {
+			row[j] = next()
+		}
+		rows[i] = row
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rank(rows, Options{M: 20, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

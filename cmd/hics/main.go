@@ -1,0 +1,161 @@
+// Command hics runs the HiCS subspace search and outlier ranking on a CSV
+// dataset.
+//
+// Usage:
+//
+//	hics [flags] <input.csv>
+//
+// The input is numeric CSV; with -header the first row names the
+// attributes, and a column named "label"/"outlier" (or the -label flag) is
+// used as ground truth to report the AUC of the ranking. Output is the
+// ranked list of high-contrast subspaces followed by the top outliers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hics/internal/core"
+	"hics/internal/dataset"
+	"hics/internal/eval"
+	"hics/internal/ranking"
+	"hics/internal/subspace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hics:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hics", flag.ContinueOnError)
+	var (
+		header  = fs.Bool("header", true, "first CSV row contains attribute names")
+		label   = fs.String("label", "", "name of the ground-truth label column (default: auto-detect 'label'/'outlier'; '-' disables)")
+		test    = fs.String("test", "welch", "statistical test: welch or ks")
+		m       = fs.Int("M", core.DefaultM, "Monte Carlo iterations per subspace")
+		alpha   = fs.Float64("alpha", core.DefaultAlpha, "expected slice size as a fraction of N")
+		cutoff  = fs.Int("cutoff", core.DefaultCutoff, "candidate cutoff per Apriori level")
+		topk    = fs.Int("topk", core.DefaultTopK, "number of high-contrast subspaces to rank in")
+		minPts  = fs.Int("minpts", 10, "LOF MinPts neighborhood size")
+		seed    = fs.Uint64("seed", 0, "random seed")
+		outl    = fs.Int("outliers", 10, "number of top outliers to print")
+		scorer  = fs.String("scorer", "lof", "outlier scorer: lof or knn")
+		aggName = fs.String("agg", "average", "aggregation of per-subspace scores: average or max")
+		subOnly = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hics [flags] <input.csv>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one input file, got %d", fs.NArg())
+	}
+
+	tt, err := core.ParseTest(*test)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	l, err := dataset.ReadLabeledCSV(f, dataset.CSVOptions{Header: *header, LabelColumn: *label})
+	if err != nil {
+		return err
+	}
+	ds := l.Data
+	fmt.Printf("loaded %d objects x %d attributes\n", ds.N(), ds.D())
+
+	params := core.Params{M: *m, Alpha: *alpha, Cutoff: *cutoff, TopK: *topk, Test: tt, Seed: *seed}
+	searcher := &core.Searcher{Params: params}
+
+	if *subOnly {
+		subs, err := searcher.Search(ds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
+		printSubspaces(ds, subs, 20)
+		return nil
+	}
+
+	var sc ranking.Scorer
+	switch *scorer {
+	case "lof":
+		sc = ranking.LOFScorer{MinPts: *minPts}
+	case "knn":
+		sc = ranking.KNNScorer{K: *minPts}
+	default:
+		return fmt.Errorf("unknown scorer %q (want lof or knn)", *scorer)
+	}
+	var agg ranking.Aggregation
+	switch *aggName {
+	case "average":
+		agg = ranking.Average
+	case "max":
+		agg = ranking.Max
+	default:
+		return fmt.Errorf("unknown aggregation %q (want average or max)", *aggName)
+	}
+
+	pipe := ranking.Pipeline{Searcher: searcher, Scorer: sc, Agg: agg, MaxSubspaces: -1}
+	res, err := pipe.Rank(ds)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
+	printSubspaces(ds, res.Subspaces, 10)
+
+	fmt.Printf("\ntop %d outliers (%s scores aggregated by %s):\n", *outl, sc.Name(), agg)
+	order := make([]int, len(res.Scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return res.Scores[order[a]] > res.Scores[order[b]] })
+	k := *outl
+	if k > len(order) {
+		k = len(order)
+	}
+	for rank, i := range order[:k] {
+		marker := ""
+		if l.Outlier != nil && l.Outlier[i] {
+			marker = "  <- labeled outlier"
+		}
+		fmt.Printf("%3d. object %5d  score %.4f%s\n", rank+1, i, res.Scores[i], marker)
+	}
+
+	if l.Outlier != nil {
+		auc, err := eval.AUC(res.Scores, l.Outlier)
+		if err == nil {
+			fmt.Printf("\nAUC vs provided labels: %.4f\n", auc)
+		}
+	}
+	return nil
+}
+
+// printSubspaces lists up to limit scored subspaces with attribute names.
+func printSubspaces(ds *dataset.Dataset, subs []subspace.Scored, limit int) {
+	if limit > len(subs) {
+		limit = len(subs)
+	}
+	for i := 0; i < limit; i++ {
+		names := make([]string, subs[i].S.Dim())
+		for k, d := range subs[i].S {
+			names[k] = ds.Name(d)
+		}
+		fmt.Printf("%3d. contrast %.4f  %v (%s)\n", i+1, subs[i].Score, []int(subs[i].S), strings.Join(names, ", "))
+	}
+}

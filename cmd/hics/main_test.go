@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hics/internal/dataset"
+	"hics/internal/synth"
+)
+
+// writeTestCSV generates a small labeled benchmark CSV and returns its path.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	b, err := synth.Generate(synth.Config{N: 120, D: 6, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, b.Data.Data, b.Data.Outlier); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run([]string{"-M", "10", "-topk", "5", "-outliers", "3", path}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunSubspacesOnly(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run([]string{"-M", "10", "-subspaces-only", path}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunKNNAndMax(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run([]string{"-M", "10", "-scorer", "knn", "-agg", "max", path}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunKSTest(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run([]string{"-M", "10", "-test", "ks", "-topk", "5", path}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := run([]string{"/nonexistent/file.csv"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := writeTestCSV(t)
+	if err := run([]string{"-test", "bogus", path}); err == nil {
+		t.Error("bad test name should fail")
+	}
+	if err := run([]string{"-scorer", "bogus", path}); err == nil {
+		t.Error("bad scorer should fail")
+	}
+	if err := run([]string{"-agg", "bogus", path}); err == nil {
+		t.Error("bad aggregation should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hics/internal/dataset"
+)
+
+func TestGenerateSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "synth.csv")
+	if err := run([]string{"-n", "100", "-d", "8", "-seed", "2", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := dataset.ReadLabeledCSV(f, dataset.CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.N() != 100 || l.Data.D() != 8 {
+		t.Errorf("generated shape %dx%d", l.Data.N(), l.Data.D())
+	}
+	if l.Outlier == nil || l.NumOutliers() == 0 {
+		t.Error("no labels in generated file")
+	}
+}
+
+func TestGenerateUCI(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "glass.csv")
+	if err := run([]string{"-uci", "Glass", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := dataset.ReadLabeledCSV(f, dataset.CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.N() != 214 || l.Data.D() != 9 {
+		t.Errorf("Glass analog shape %dx%d", l.Data.N(), l.Data.D())
+	}
+	if l.NumOutliers() != 9 {
+		t.Errorf("Glass outliers = %d, want 9", l.NumOutliers())
+	}
+}
+
+func TestGenerateList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-uci", "bogus"}); err == nil {
+		t.Error("unknown UCI name should fail")
+	}
+	if err := run([]string{"-n", "5", "-d", "4", "-o", filepath.Join(t.TempDir(), "x.csv")}); err == nil {
+		t.Error("degenerate size should fail")
+	}
+}

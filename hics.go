@@ -1,0 +1,224 @@
+// Package hics is a Go implementation of HiCS — "High Contrast Subspaces
+// for Density-Based Outlier Ranking" (Keller, Müller, Böhm, ICDE 2012).
+//
+// HiCS decouples subspace outlier mining into two steps:
+//
+//  1. Subspace search: rank axis-parallel projections of the data by a
+//     statistical contrast measure — the average deviation between the
+//     marginal distribution of an attribute and its distribution inside
+//     random "subspace slices" over the other attributes, estimated by a
+//     Monte Carlo loop of Welch t-tests or Kolmogorov–Smirnov tests.
+//  2. Outlier ranking: score every object with a density-based outlier
+//     score (LOF by default) inside each high-contrast projection and
+//     average the per-projection scores.
+//
+// The package exposes the complete pipeline (Rank), the subspace search
+// alone (SearchSubspaces), and the contrast measure for a single subspace
+// (Contrast). Competitor methods from the paper's evaluation (full-space
+// LOF, PCA+LOF, random subspaces, Enclus, RIS) live in internal packages
+// and are exercised through the cmd/hicsbench experiment harness.
+//
+// All entry points accept row-major [][]float64 data; every row is one
+// object, every column one attribute.
+package hics
+
+import (
+	"errors"
+
+	"hics/internal/core"
+	"hics/internal/dataset"
+	"hics/internal/lof"
+	"hics/internal/ranking"
+	"hics/internal/subspace"
+)
+
+// Options configures HiCS. The zero value selects the defaults of the
+// paper's experiments (M=50, α=0.1, cutoff=400, 100 subspaces, Welch test,
+// LOF with MinPts=10, average aggregation).
+type Options struct {
+	// M is the number of Monte Carlo statistical tests per subspace.
+	M int
+	// Alpha is the expected fraction of objects in a subspace slice,
+	// 0 < Alpha < 1.
+	Alpha float64
+	// CandidateCutoff bounds the candidates retained per Apriori level.
+	CandidateCutoff int
+	// TopK is the number of high-contrast subspaces kept for the ranking
+	// step (-1 keeps all).
+	TopK int
+	// Test selects the deviation function: "welch" (default) or "ks".
+	Test string
+	// Seed fixes all Monte Carlo randomness, making results reproducible.
+	Seed uint64
+	// MinPts is the LOF neighborhood size of the ranking step.
+	MinPts int
+	// UseKNNScore replaces LOF with the average-kNN-distance score, the
+	// cheaper alternative the paper names as future work.
+	UseKNNScore bool
+	// MaxAggregation aggregates per-subspace scores with max instead of
+	// the paper's average.
+	MaxAggregation bool
+	// Workers bounds the number of goroutines evaluating subspace
+	// contrasts; 0 means one per CPU.
+	Workers int
+	// MaxDim caps the dimensionality of generated subspace candidates;
+	// 0 means unbounded.
+	MaxDim int
+}
+
+func (o Options) coreParams() (core.Params, error) {
+	p := core.Params{
+		M:       o.M,
+		Alpha:   o.Alpha,
+		Cutoff:  o.CandidateCutoff,
+		TopK:    o.TopK,
+		Seed:    o.Seed,
+		Workers: o.Workers,
+		MaxDim:  o.MaxDim,
+	}
+	if o.Test != "" {
+		t, err := core.ParseTest(o.Test)
+		if err != nil {
+			return p, err
+		}
+		p.Test = t
+	}
+	return p, nil
+}
+
+// Subspace is one scored projection of the attribute space.
+type Subspace struct {
+	// Dims are the attribute indices of the projection, ascending.
+	Dims []int
+	// Contrast is the HiCS contrast in [0, 1]; higher means stronger
+	// conditional dependence between the dimensions.
+	Contrast float64
+}
+
+// Result is the outcome of a full HiCS outlier ranking.
+type Result struct {
+	// Scores holds one aggregated outlier score per object (row); higher
+	// means more outlying.
+	Scores []float64
+	// Subspaces lists the high-contrast projections the scores were
+	// computed in, in descending contrast order.
+	Subspaces []Subspace
+}
+
+// TopOutliers returns the indices of the k highest-scoring objects in
+// descending score order.
+func (r *Result) TopOutliers(k int) []int {
+	idx := make([]int, len(r.Scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// simple selection sort of the top k — k is small in practice
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if r.Scores[idx[j]] > r.Scores[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+func toDataset(rows [][]float64) (*dataset.Dataset, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("hics: empty data")
+	}
+	return dataset.FromRows(nil, rows)
+}
+
+// SearchSubspaces runs the HiCS subspace search on row-major data and
+// returns the high-contrast projections in descending contrast order.
+func SearchSubspaces(rows [][]float64, opts Options) ([]Subspace, error) {
+	ds, err := toDataset(rows)
+	if err != nil {
+		return nil, err
+	}
+	p, err := opts.coreParams()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Search(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Subspace, len(res.Subspaces))
+	for i, sc := range res.Subspaces {
+		out[i] = Subspace{Dims: append([]int(nil), sc.S...), Contrast: sc.Score}
+	}
+	return out, nil
+}
+
+// Contrast computes the HiCS contrast of a single subspace (given as
+// attribute indices) of the row-major data.
+func Contrast(rows [][]float64, dims []int, opts Options) (float64, error) {
+	ds, err := toDataset(rows)
+	if err != nil {
+		return 0, err
+	}
+	p, err := opts.coreParams()
+	if err != nil {
+		return 0, err
+	}
+	return core.ContrastOf(ds, subspace.New(dims...), p)
+}
+
+// Rank runs the complete two-step HiCS pipeline: subspace search followed
+// by density-based outlier scoring in the selected projections.
+func Rank(rows [][]float64, opts Options) (*Result, error) {
+	ds, err := toDataset(rows)
+	if err != nil {
+		return nil, err
+	}
+	p, err := opts.coreParams()
+	if err != nil {
+		return nil, err
+	}
+	var scorer ranking.Scorer = ranking.LOFScorer{MinPts: opts.MinPts}
+	if opts.UseKNNScore {
+		scorer = ranking.KNNScorer{K: opts.MinPts}
+	}
+	agg := ranking.Average
+	if opts.MaxAggregation {
+		agg = ranking.Max
+	}
+	pipe := ranking.Pipeline{
+		Searcher:     &core.Searcher{Params: p},
+		Scorer:       scorer,
+		Agg:          agg,
+		MaxSubspaces: -1, // the searcher already applies TopK
+	}
+	res, err := pipe.Rank(ds)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]Subspace, len(res.Subspaces))
+	for i, sc := range res.Subspaces {
+		subs[i] = Subspace{Dims: append([]int(nil), sc.S...), Contrast: sc.Score}
+	}
+	return &Result{Scores: res.Scores, Subspaces: subs}, nil
+}
+
+// LOFScores computes plain full-space LOF scores on row-major data — the
+// classical baseline, exposed for comparisons.
+func LOFScores(rows [][]float64, minPts int) ([]float64, error) {
+	ds, err := toDataset(rows)
+	if err != nil {
+		return nil, err
+	}
+	if minPts <= 0 {
+		minPts = lof.DefaultMinPts
+	}
+	return lof.Scores(ds, subspace.Full(ds.D()), minPts)
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"

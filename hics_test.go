@@ -1,0 +1,204 @@
+package hics
+
+import (
+	"math"
+	"testing"
+
+	"hics/internal/eval"
+	"hics/internal/rng"
+	"hics/internal/synth"
+)
+
+// demoRows builds row-major data with a strongly correlated pair
+// (attrs 0,1), noise attrs, and one planted non-trivial outlier at row 0.
+func demoRows(seed uint64, n, d int) [][]float64 {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		c := 0.3
+		if r.Float64() < 0.5 {
+			c = 0.7
+		}
+		row[0] = r.NormalScaled(c, 0.04)
+		row[1] = r.NormalScaled(c, 0.04)
+		for j := 2; j < d; j++ {
+			row[j] = r.Float64()
+		}
+		rows[i] = row
+	}
+	// Non-trivial outlier: anti-diagonal combination.
+	rows[0][0] = 0.3
+	rows[0][1] = 0.7
+	return rows
+}
+
+func TestSearchSubspacesFindsPlantedPair(t *testing.T) {
+	rows := demoRows(1, 400, 6)
+	subs, err := SearchSubspaces(rows, Options{M: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no subspaces")
+	}
+	top := subs[0]
+	has0, has1 := false, false
+	for _, d := range top.Dims {
+		if d == 0 {
+			has0 = true
+		}
+		if d == 1 {
+			has1 = true
+		}
+	}
+	if !has0 || !has1 {
+		t.Errorf("top subspace %v does not contain the planted pair", top.Dims)
+	}
+	for i := 1; i < len(subs); i++ {
+		if subs[i].Contrast > subs[i-1].Contrast {
+			t.Fatal("subspaces not sorted by descending contrast")
+		}
+	}
+}
+
+func TestRankFlagsPlantedOutlier(t *testing.T) {
+	rows := demoRows(2, 400, 6)
+	res, err := Rank(rows, Options{M: 50, Seed: 2, MinPts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 400 {
+		t.Fatalf("score count %d", len(res.Scores))
+	}
+	top := res.TopOutliers(5)
+	found := false
+	for _, i := range top {
+		if i == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planted outlier not in top 5: %v", top)
+	}
+}
+
+func TestRankWithKNNAndMax(t *testing.T) {
+	rows := demoRows(3, 200, 4)
+	res, err := Rank(rows, Options{M: 20, Seed: 3, UseKNNScore: true, MaxAggregation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Scores {
+		if math.IsNaN(s) {
+			t.Fatalf("NaN score at %d", i)
+		}
+	}
+}
+
+func TestRankKSVariant(t *testing.T) {
+	rows := demoRows(4, 200, 4)
+	res, err := Rank(rows, Options{M: 20, Seed: 4, Test: "ks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subspaces) == 0 {
+		t.Fatal("KS variant returned no subspaces")
+	}
+}
+
+func TestRankQualityOnBenchmark(t *testing.T) {
+	b, err := synth.Generate(synth.Config{N: 500, D: 15, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := b.Data.Data
+	rows := make([][]float64, ds.N())
+	for i := range rows {
+		rows[i] = ds.Row(i, nil)
+	}
+	res, err := Rank(rows, Options{M: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.AUC(res.Scores, b.Data.Outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Errorf("public API AUC = %.3f on planted benchmark, want >= 0.8", auc)
+	}
+}
+
+func TestContrastPublic(t *testing.T) {
+	rows := demoRows(5, 300, 4)
+	cCorr, err := Contrast(rows, []int{0, 1}, Options{M: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNoise, err := Contrast(rows, []int{2, 3}, Options{M: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cCorr <= cNoise {
+		t.Errorf("correlated contrast %v <= noise contrast %v", cCorr, cNoise)
+	}
+}
+
+func TestLOFScoresPublic(t *testing.T) {
+	rows := demoRows(6, 150, 3)
+	scores, err := LOFScores(rows, 0) // default MinPts
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 150 {
+		t.Fatalf("score count %d", len(scores))
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	rows := demoRows(7, 50, 3)
+	if _, err := Rank(rows, Options{Test: "bogus"}); err == nil {
+		t.Error("bad test name should fail")
+	}
+	if _, err := Rank(nil, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := SearchSubspaces([][]float64{{1, 2}, {3}}, Options{}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := Contrast(rows, []int{0}, Options{}); err == nil {
+		t.Error("1-d contrast should fail")
+	}
+}
+
+func TestTopOutliersOrdering(t *testing.T) {
+	r := &Result{Scores: []float64{0.2, 0.9, 0.5, 0.7}}
+	top := r.TopOutliers(3)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopOutliers = %v, want %v", top, want)
+		}
+	}
+	if got := r.TopOutliers(100); len(got) != 4 {
+		t.Errorf("clamped TopOutliers length %d", len(got))
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	rows := demoRows(8, 200, 5)
+	a, err := Rank(rows, Options{M: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rank(rows, Options{M: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatal("same seed produced different rankings")
+		}
+	}
+}

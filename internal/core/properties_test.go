@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+	"hics/internal/subspace"
+	"hics/internal/synth"
+)
+
+// The Fig. 3 counterexample: a 3-d XOR-box dataset whose two-dimensional
+// projections are all uniform while the full 3-d space is strongly
+// correlated. The paper uses it to show contrast is not monotone, i.e. no
+// Apriori downward-closure can be exact. Our contrast measure must rate
+// the 3-d subspace far above every 2-d projection.
+func TestXORBoxNonMonotonicity(t *testing.T) {
+	ds := synth.XORBox(2000, 1)
+	// Small α keeps the slice width below one XOR half-box; with the
+	// default α=0.1 a condition block spans 46% of the range and often
+	// straddles the box boundary, diluting the visible correlation.
+	p := Params{M: 500, Alpha: 0.02, Seed: 3, Test: KolmogorovSmirnov}
+	c3, err := ContrastOf(ds, subspace.New(0, 1, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []subspace.Subspace{
+		subspace.New(0, 1), subspace.New(0, 2), subspace.New(1, 2),
+	} {
+		c2, err := ContrastOf(ds, pair, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c3 <= 2*c2 {
+			t.Errorf("3-d contrast %v not clearly above 2-d projection %v (%v)", c3, pair, c2)
+		}
+	}
+}
+
+// The KS instantiation works purely on ranks of the conditional vs the
+// marginal sample, and the slice construction uses only the per-attribute
+// sorted order — so applying any strictly increasing transform to an
+// attribute must leave the HiCS_KS contrast unchanged.
+func TestKSContrastMonotoneTransformInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		base := correlatedPair(seed, 200, 3)
+		// Transform each column with a different strictly monotone map.
+		transforms := []func(float64) float64{
+			func(v float64) float64 { return math.Exp(2 * v) },
+			func(v float64) float64 { return v*v*v + 5*v },
+			func(v float64) float64 { return math.Atan(3 * v) },
+		}
+		cols := make([][]float64, base.D())
+		for d := 0; d < base.D(); d++ {
+			src := base.Col(d)
+			dst := make([]float64, len(src))
+			for i, v := range src {
+				dst[i] = transforms[d](v)
+			}
+			cols[d] = dst
+		}
+		warped := dataset.MustNew(nil, cols)
+		p := Params{M: 30, Seed: seed, Test: KolmogorovSmirnov}
+		s := subspace.New(0, 1, 2)
+		c1, err1 := ContrastOf(base, s, p)
+		c2, err2 := ContrastOf(warped, s, p)
+		return err1 == nil && err2 == nil && math.Abs(c1-c2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shuffling object order must not change the contrast: the measure sees
+// the empirical distribution, not the row order. (Sorted indices break
+// ties by object id, but with continuous data ties are absent.)
+func TestContrastRowOrderInvariant(t *testing.T) {
+	base := correlatedPair(9, 300, 2)
+	perm := rng.New(4).Perm(300)
+	cols := make([][]float64, 2)
+	for d := 0; d < 2; d++ {
+		src := base.Col(d)
+		dst := make([]float64, len(src))
+		for i, pi := range perm {
+			dst[i] = src[pi]
+		}
+		cols[d] = dst
+	}
+	shuffled := dataset.MustNew(nil, cols)
+	for _, tt := range []Test{WelchT, KolmogorovSmirnov} {
+		p := Params{M: 100, Seed: 5, Test: tt}
+		c1, err := ContrastOf(base, subspace.New(0, 1), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ContrastOf(shuffled, subspace.New(0, 1), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c1-c2) > 1e-12 {
+			t.Errorf("%v: contrast depends on row order: %v vs %v", tt, c1, c2)
+		}
+	}
+}
+
+// Duplicating every object must not substantially change the contrast
+// (the measure estimates distributions, which are invariant under
+// sample duplication up to Monte Carlo noise and test power).
+func TestContrastStableUnderDuplication(t *testing.T) {
+	base := correlatedPair(11, 250, 2)
+	cols := make([][]float64, 2)
+	for d := 0; d < 2; d++ {
+		src := base.Col(d)
+		cols[d] = append(append([]float64(nil), src...), src...)
+	}
+	doubled := dataset.MustNew(nil, cols)
+	p := Params{M: 200, Seed: 6, Test: KolmogorovSmirnov}
+	c1, err := ContrastOf(base, subspace.New(0, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ContrastOf(doubled, subspace.New(0, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c1-c2) > 0.1 {
+		t.Errorf("contrast unstable under duplication: %v vs %v", c1, c2)
+	}
+}
+
+// Failure injection: constant attributes must not crash any instantiation
+// and must yield low-to-moderate contrast (a constant column carries no
+// dependence information).
+func TestContrastConstantAttribute(t *testing.T) {
+	r := rng.New(12)
+	n := 200
+	x := make([]float64, n)
+	c := make([]float64, n) // all zeros
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	ds := dataset.MustNew(nil, [][]float64{x, c})
+	for _, tt := range []Test{WelchT, KolmogorovSmirnov, MannWhitney, CramerVonMises} {
+		got, err := ContrastOf(ds, subspace.New(0, 1), Params{M: 50, Seed: 7, Test: tt})
+		if err != nil {
+			t.Fatalf("%v: %v", tt, err)
+		}
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("%v: contrast with constant attribute = %v", tt, got)
+		}
+	}
+}
+
+// Failure injection: heavy ties (integer-valued data) must stay in range
+// for every instantiation.
+func TestContrastHeavyTies(t *testing.T) {
+	r := rng.New(13)
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := float64(r.Intn(4))
+		x[i] = v
+		y[i] = v // perfectly dependent categorical-like data
+	}
+	ds := dataset.MustNew(nil, [][]float64{x, y})
+	for _, tt := range []Test{WelchT, KolmogorovSmirnov, MannWhitney, CramerVonMises} {
+		got, err := ContrastOf(ds, subspace.New(0, 1), Params{M: 50, Seed: 8, Test: tt})
+		if err != nil {
+			t.Fatalf("%v: %v", tt, err)
+		}
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("%v: contrast with ties = %v", tt, got)
+		}
+	}
+}

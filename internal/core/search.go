@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+	"hics/internal/subspace"
+)
+
+// SearchResult carries the outcome of a HiCS subspace search.
+type SearchResult struct {
+	// Subspaces is the final ranking: redundancy-pruned, sorted by
+	// descending contrast, truncated to Params.TopK.
+	Subspaces []subspace.Scored
+	// Levels records the retained candidates per Apriori level (index 0 =
+	// two-dimensional), before pruning. Useful for diagnostics and tests.
+	Levels [][]subspace.Scored
+	// Evaluated counts contrast computations performed.
+	Evaluated int
+}
+
+// Search runs the full HiCS subspace framework (Sec. IV-B) on ds:
+//
+//  1. score every 2-dimensional subspace,
+//  2. keep the top Cutoff candidates of the current level,
+//  3. Apriori-join them into (d+1)-dimensional candidates and repeat until
+//     the join yields nothing (or MaxDim is reached),
+//  4. pool the retained candidates of all levels, remove each subspace
+//     dominated by a higher-contrast superset one dimension larger, sort by
+//     contrast and cut to TopK.
+//
+// Contrast evaluations are spread over Params.Workers goroutines; results
+// are nevertheless deterministic because every subspace draws from a
+// stream keyed by (Seed, subspace).
+func Search(ds *dataset.Dataset, p Params) (*SearchResult, error) {
+	p = p.withDefaults()
+	if ds.D() < 2 {
+		return nil, fmt.Errorf("core: search needs at least 2 attributes, have %d", ds.D())
+	}
+	ds.EnsureIndexes()
+	eval := NewEvaluator(ds, p)
+	base := rng.New(p.Seed)
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	result := &SearchResult{}
+	var pool []subspace.Scored
+
+	candidates := subspace.AllPairs(ds.D())
+	for len(candidates) > 0 {
+		scored := scoreAll(eval, base, candidates, workers)
+		result.Evaluated += len(scored)
+
+		retained := subspace.TopK(scored, p.Cutoff)
+		result.Levels = append(result.Levels, retained)
+		pool = append(pool, retained...)
+
+		dim := retained[0].S.Dim()
+		if p.MaxDim > 0 && dim >= p.MaxDim {
+			break
+		}
+		parents := make([]subspace.Subspace, len(retained))
+		for i, sc := range retained {
+			parents[i] = sc.S
+		}
+		candidates = subspace.GenerateCandidates(parents)
+	}
+
+	if !p.DisablePruning {
+		pool = subspace.PruneRedundant(pool)
+	}
+	result.Subspaces = subspace.TopK(pool, p.TopK)
+	return result, nil
+}
+
+// scoreAll evaluates the contrast of every candidate, fanning the work out
+// over the given number of goroutines.
+func scoreAll(eval *Evaluator, base *rng.RNG, candidates []subspace.Subspace, workers int) []subspace.Scored {
+	scored := make([]subspace.Scored, len(candidates))
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		sc := eval.NewScratch()
+		for i, s := range candidates {
+			scored[i] = subspace.Scored{S: s, Score: eval.Contrast(s, base.Derive(hashSubspace(s)), sc)}
+		}
+		return scored
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := eval.NewScratch()
+			for i := range next {
+				s := candidates[i]
+				scored[i] = subspace.Scored{S: s, Score: eval.Contrast(s, base.Derive(hashSubspace(s)), sc)}
+			}
+		}()
+	}
+	for i := range candidates {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return scored
+}
+
+// Searcher adapts Search to the ranking pipeline's SubspaceSearcher
+// interface: a reusable configuration whose Search method returns the
+// ranked subspace list.
+type Searcher struct {
+	Params Params
+}
+
+// Search implements the two-step pipeline's subspace search step.
+func (h *Searcher) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
+	res, err := Search(ds, h.Params)
+	if err != nil {
+		return nil, err
+	}
+	return res.Subspaces, nil
+}
+
+// Name identifies the method in experiment reports: the paper's "HiCS"
+// for the default Welch instantiation, suffixed variants otherwise.
+func (h *Searcher) Name() string {
+	switch h.Params.Test {
+	case KolmogorovSmirnov:
+		return "HiCS_KS"
+	case MannWhitney:
+		return "HiCS_MW"
+	case CramerVonMises:
+		return "HiCS_CVM"
+	default:
+		return "HiCS"
+	}
+}

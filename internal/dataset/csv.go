@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV parsing.
+type CSVOptions struct {
+	// Header indicates the first record carries attribute names.
+	Header bool
+	// LabelColumn names a column holding the 0/1 outlier ground truth; it is
+	// split off into Labeled.Outlier instead of the data matrix. If empty, a
+	// trailing column named "label" or "outlier" (case-insensitive) is used
+	// when Header is set. Set to "-" to disable label detection entirely.
+	LabelColumn string
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+}
+
+// ReadCSV parses numeric CSV data into a Dataset. Rows with a wrong field
+// count or non-numeric fields produce an error naming the offending line.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	l, err := ReadLabeledCSV(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return l.Data, nil
+}
+
+// ReadLabeledCSV parses numeric CSV data, extracting the ground-truth
+// outlier column per opts. If no label column is present, Labeled.Outlier
+// is nil.
+func ReadLabeledCSV(r io.Reader, opts CSVOptions) (*Labeled, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1 // validate ourselves for better messages
+
+	var names []string
+	labelIdx := -1
+	line := 0
+
+	if opts.Header {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		}
+		line++
+		names = rec
+		for i, n := range rec {
+			ln := strings.ToLower(strings.TrimSpace(n))
+			switch {
+			case opts.LabelColumn != "" && opts.LabelColumn != "-" && n == opts.LabelColumn:
+				labelIdx = i
+			case opts.LabelColumn == "" && (ln == "label" || ln == "outlier"):
+				labelIdx = i
+			}
+		}
+		if opts.LabelColumn != "" && opts.LabelColumn != "-" && labelIdx == -1 {
+			return nil, fmt.Errorf("dataset: label column %q not found in header", opts.LabelColumn)
+		}
+	}
+
+	var (
+		rows   [][]float64
+		labels []bool
+		width  = -1
+	)
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		line++
+		if width == -1 {
+			width = len(rec)
+			if !opts.Header && opts.LabelColumn != "" && opts.LabelColumn != "-" {
+				return nil, errors.New("dataset: LabelColumn requires Header")
+			}
+		}
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), width)
+		}
+		row := make([]float64, 0, width)
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %q is not numeric", line, i+1, f)
+			}
+			if i == labelIdx {
+				labels = append(labels, v != 0)
+				continue
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("dataset: CSV contains no data rows")
+	}
+
+	var dataNames []string
+	if names != nil {
+		for i, n := range names {
+			if i != labelIdx {
+				dataNames = append(dataNames, n)
+			}
+		}
+	}
+	ds, err := FromRows(dataNames, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeled{Data: ds, Outlier: labels}, nil
+}
+
+// WriteCSV writes the dataset with a header row. If labels is non-nil it is
+// appended as a trailing 0/1 column named "label"; its length must equal N.
+func WriteCSV(w io.Writer, ds *Dataset, labels []bool) error {
+	if labels != nil && len(labels) != ds.N() {
+		return fmt.Errorf("dataset: %d labels for %d rows", len(labels), ds.N())
+	}
+	cw := csv.NewWriter(w)
+	header := ds.Names()
+	if labels != nil {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, 0, len(header))
+	for i := 0; i < ds.N(); i++ {
+		rec = rec[:0]
+		for d := 0; d < ds.D(); d++ {
+			rec = append(rec, strconv.FormatFloat(ds.Value(i, d), 'g', -1, 64))
+		}
+		if labels != nil {
+			if labels[i] {
+				rec = append(rec, "1")
+			} else {
+				rec = append(rec, "0")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVNoHeader(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1,2\n3,4\n5,6\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 || ds.D() != 2 || ds.Value(2, 1) != 6 {
+		t.Errorf("parsed shape %dx%d", ds.N(), ds.D())
+	}
+}
+
+func TestReadCSVHeader(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("x,y\n1,2\n3,4\n"), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name(0) != "x" || ds.Name(1) != "y" {
+		t.Errorf("names = %v", ds.Names())
+	}
+}
+
+func TestReadLabeledCSVAutoDetect(t *testing.T) {
+	in := "x,y,label\n1,2,0\n3,4,1\n"
+	l, err := ReadLabeledCSV(strings.NewReader(in), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.D() != 2 {
+		t.Fatalf("label column not stripped, D = %d", l.Data.D())
+	}
+	if l.Outlier == nil || !l.Outlier[1] || l.Outlier[0] {
+		t.Errorf("labels = %v", l.Outlier)
+	}
+}
+
+func TestReadLabeledCSVExplicitColumn(t *testing.T) {
+	in := "x,truth,y\n1,1,2\n3,0,4\n"
+	l, err := ReadLabeledCSV(strings.NewReader(in), CSVOptions{Header: true, LabelColumn: "truth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.D() != 2 || !l.Outlier[0] || l.Outlier[1] {
+		t.Errorf("explicit label parse failed: D=%d labels=%v", l.Data.D(), l.Outlier)
+	}
+	if l.Data.Name(1) != "y" {
+		t.Errorf("names = %v", l.Data.Names())
+	}
+}
+
+func TestReadLabeledCSVMissingColumn(t *testing.T) {
+	in := "x,y\n1,2\n"
+	if _, err := ReadLabeledCSV(strings.NewReader(in), CSVOptions{Header: true, LabelColumn: "truth"}); err == nil {
+		t.Error("missing label column should fail")
+	}
+}
+
+func TestReadCSVDisableLabelDetection(t *testing.T) {
+	in := "x,label\n1,0\n2,1\n"
+	l, err := ReadLabeledCSV(strings.NewReader(in), CSVOptions{Header: true, LabelColumn: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.D() != 2 || l.Outlier != nil {
+		t.Errorf("label detection not disabled: D=%d labels=%v", l.Data.D(), l.Outlier)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), CSVOptions{}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,abc\n"), CSVOptions{}); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+	if _, err := ReadLabeledCSV(strings.NewReader("1,2\n"), CSVOptions{LabelColumn: "x"}); err == nil {
+		t.Error("LabelColumn without Header should fail")
+	}
+}
+
+func TestReadCSVCustomComma(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1;2\n3;4\n"), CSVOptions{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D() != 2 || ds.Value(1, 0) != 3 {
+		t.Error("semicolon parsing failed")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ds := MustNew([]string{"a", "b"}, [][]float64{{1.5, -2.25}, {0.125, 1e-9}})
+	labels := []bool{true, false}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds, labels); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadLabeledCSV(&buf, CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.D() != 2 || l.Data.N() != 2 {
+		t.Fatalf("round trip shape %dx%d", l.Data.N(), l.Data.D())
+	}
+	for d := 0; d < 2; d++ {
+		for i := 0; i < 2; i++ {
+			if l.Data.Value(i, d) != ds.Value(i, d) {
+				t.Errorf("value (%d,%d) changed: %v != %v", i, d, l.Data.Value(i, d), ds.Value(i, d))
+			}
+		}
+	}
+	if !l.Outlier[0] || l.Outlier[1] {
+		t.Errorf("labels round trip = %v", l.Outlier)
+	}
+}
+
+func TestWriteCSVLabelMismatch(t *testing.T) {
+	ds := MustNew(nil, [][]float64{{1, 2}})
+	if err := WriteCSV(&bytes.Buffer{}, ds, []bool{true}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+}
+
+func TestWriteCSVNoLabels(t *testing.T) {
+	ds := MustNew([]string{"a"}, [][]float64{{1, 2}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\n1\n2\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+}

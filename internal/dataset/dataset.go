@@ -1,0 +1,191 @@
+// Package dataset provides the columnar in-memory data container used by
+// every algorithm in this repository.
+//
+// The container is column-major: HiCS's subspace slicing walks one attribute
+// at a time through a per-attribute sorted index, and LOF's subspace
+// distances touch only the selected columns, so storing each attribute
+// contiguously is the cache-friendly layout for both access patterns.
+//
+// Per-attribute sorted index structures (paper Sec. IV-A: "we precalculate
+// one-dimensional index structures for all attributes") are built lazily and
+// memoized; they are safe for concurrent use once built, matching the
+// parallel candidate evaluation in the subspace framework.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dataset is an immutable N×D table of float64 values.
+// All mutating operations return a new Dataset.
+type Dataset struct {
+	names []string
+	cols  [][]float64 // cols[d][i] = value of attribute d for object i
+	n     int
+
+	idxOnce []sync.Once
+	sorted  [][]int // sorted[d] = object ids ordered by ascending cols[d]
+}
+
+// New constructs a Dataset from column-major data. The column slices are
+// retained (not copied); callers must not modify them afterwards.
+// names may be nil, in which case synthetic names attr0..attrD-1 are used.
+func New(names []string, cols [][]float64) (*Dataset, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("dataset: no columns")
+	}
+	n := len(cols[0])
+	if n == 0 {
+		return nil, errors.New("dataset: empty columns")
+	}
+	for d, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("dataset: column %d has %d values, want %d", d, len(c), n)
+		}
+	}
+	if names == nil {
+		names = make([]string, len(cols))
+		for d := range names {
+			names[d] = fmt.Sprintf("attr%d", d)
+		}
+	}
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("dataset: %d names for %d columns", len(names), len(cols))
+	}
+	return &Dataset{
+		names:   names,
+		cols:    cols,
+		n:       n,
+		idxOnce: make([]sync.Once, len(cols)),
+		sorted:  make([][]int, len(cols)),
+	}, nil
+}
+
+// MustNew is New for inputs known to be valid; it panics on error.
+// Intended for tests and generators.
+func MustNew(names []string, cols [][]float64) *Dataset {
+	ds, err := New(names, cols)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// FromRows constructs a Dataset from row-major data, copying it into the
+// internal column-major layout.
+func FromRows(names []string, rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("dataset: no rows")
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, errors.New("dataset: empty rows")
+	}
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = make([]float64, len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != d {
+			return nil, fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			cols[j][i] = v
+		}
+	}
+	return New(names, cols)
+}
+
+// N returns the number of objects.
+func (ds *Dataset) N() int { return ds.n }
+
+// D returns the number of attributes.
+func (ds *Dataset) D() int { return len(ds.cols) }
+
+// Name returns the name of attribute d.
+func (ds *Dataset) Name(d int) string { return ds.names[d] }
+
+// Names returns a copy of all attribute names.
+func (ds *Dataset) Names() []string {
+	return append([]string(nil), ds.names...)
+}
+
+// Col returns the values of attribute d. The returned slice is the internal
+// storage: callers must treat it as read-only.
+func (ds *Dataset) Col(d int) []float64 { return ds.cols[d] }
+
+// Value returns the value of attribute d for object i.
+func (ds *Dataset) Value(i, d int) float64 { return ds.cols[d][i] }
+
+// Row appends the values of object i to buf and returns the result.
+// Pass a slice with sufficient capacity to avoid allocation.
+func (ds *Dataset) Row(i int, buf []float64) []float64 {
+	buf = buf[:0]
+	for d := range ds.cols {
+		buf = append(buf, ds.cols[d][i])
+	}
+	return buf
+}
+
+// SortedIndex returns the object indices ordered by ascending value of
+// attribute d, computing and memoizing the ordering on first use.
+// Ties are broken by object id, making the index deterministic.
+// The returned slice is shared: treat it as read-only.
+func (ds *Dataset) SortedIndex(d int) []int {
+	ds.idxOnce[d].Do(func() {
+		idx := make([]int, ds.n)
+		for i := range idx {
+			idx[i] = i
+		}
+		col := ds.cols[d]
+		sort.SliceStable(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
+		ds.sorted[d] = idx
+	})
+	return ds.sorted[d]
+}
+
+// EnsureIndexes forces construction of all sorted indices. Useful to move
+// the one-off O(D·N log N) cost out of timed sections.
+func (ds *Dataset) EnsureIndexes() {
+	for d := 0; d < ds.D(); d++ {
+		ds.SortedIndex(d)
+	}
+}
+
+// Select returns a new Dataset containing only the given attribute columns
+// (shared storage, no copy). Dimension order is preserved as given.
+func (ds *Dataset) Select(dims []int) (*Dataset, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("dataset: Select with no dimensions")
+	}
+	names := make([]string, len(dims))
+	cols := make([][]float64, len(dims))
+	for k, d := range dims {
+		if d < 0 || d >= ds.D() {
+			return nil, fmt.Errorf("dataset: dimension %d out of range [0,%d)", d, ds.D())
+		}
+		names[k] = ds.names[d]
+		cols[k] = ds.cols[d]
+	}
+	return New(names, cols)
+}
+
+// Labeled couples a Dataset with a ground-truth outlier flag per object.
+type Labeled struct {
+	Data    *Dataset
+	Outlier []bool
+}
+
+// NumOutliers returns the number of flagged objects.
+func (l *Labeled) NumOutliers() int {
+	c := 0
+	for _, o := range l.Outlier {
+		if o {
+			c++
+		}
+	}
+	return c
+}

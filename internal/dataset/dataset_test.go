@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := New(nil, [][]float64{{}}); err == nil {
+		t.Error("empty columns should fail")
+	}
+	if _, err := New(nil, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged columns should fail")
+	}
+	if _, err := New([]string{"a"}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("name count mismatch should fail")
+	}
+}
+
+func TestNewSyntheticNames(t *testing.T) {
+	ds := MustNew(nil, [][]float64{{1, 2}, {3, 4}})
+	if ds.Name(0) != "attr0" || ds.Name(1) != "attr1" {
+		t.Errorf("names = %v", ds.Names())
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	ds, err := FromRows([]string{"x", "y"}, [][]float64{{1, 10}, {2, 20}, {3, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 || ds.D() != 2 {
+		t.Fatalf("shape = %dx%d", ds.N(), ds.D())
+	}
+	if ds.Value(1, 1) != 20 {
+		t.Errorf("Value(1,1) = %v", ds.Value(1, 1))
+	}
+	if got := ds.Col(0); got[2] != 3 {
+		t.Errorf("Col(0) = %v", got)
+	}
+	row := ds.Row(2, nil)
+	if row[0] != 3 || row[1] != 30 {
+		t.Errorf("Row(2) = %v", row)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows(nil, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := FromRows(nil, nil); err == nil {
+		t.Error("no rows should fail")
+	}
+	if _, err := FromRows(nil, [][]float64{{}}); err == nil {
+		t.Error("zero-width rows should fail")
+	}
+}
+
+func TestSortedIndex(t *testing.T) {
+	ds := MustNew(nil, [][]float64{{3, 1, 2, 1}})
+	idx := ds.SortedIndex(0)
+	want := []int{1, 3, 2, 0} // stable: ties (value 1 at ids 1 and 3) keep id order
+	for i, v := range want {
+		if idx[i] != v {
+			t.Fatalf("SortedIndex = %v, want %v", idx, want)
+		}
+	}
+	// Memoized: same slice returned.
+	if &ds.SortedIndex(0)[0] != &idx[0] {
+		t.Error("SortedIndex not memoized")
+	}
+}
+
+func TestSortedIndexConcurrent(t *testing.T) {
+	r := rng.New(1)
+	col := make([]float64, 1000)
+	for i := range col {
+		col[i] = r.Float64()
+	}
+	ds := MustNew(nil, [][]float64{col})
+	done := make(chan []int, 8)
+	for k := 0; k < 8; k++ {
+		go func() { done <- ds.SortedIndex(0) }()
+	}
+	first := <-done
+	for k := 1; k < 8; k++ {
+		got := <-done
+		if &got[0] != &first[0] {
+			t.Fatal("concurrent SortedIndex returned distinct slices")
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if col[first[i-1]] > col[first[i]] {
+			t.Fatal("SortedIndex is not sorted")
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	ds := MustNew([]string{"a", "b", "c"}, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	sub, err := ds.Select([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.D() != 2 || sub.Name(0) != "c" || sub.Value(1, 1) != 2 {
+		t.Errorf("Select result wrong: names=%v", sub.Names())
+	}
+	if _, err := ds.Select(nil); err == nil {
+		t.Error("empty Select should fail")
+	}
+	if _, err := ds.Select([]int{5}); err == nil {
+		t.Error("out-of-range Select should fail")
+	}
+}
+
+func TestMinMaxScaled(t *testing.T) {
+	ds := MustNew(nil, [][]float64{{-2, 0, 2}, {7, 7, 7}})
+	sc := ds.MinMaxScaled()
+	if got := sc.Col(0); got[0] != 0 || got[1] != 0.5 || got[2] != 1 {
+		t.Errorf("scaled col0 = %v", got)
+	}
+	if got := sc.Col(1); got[0] != 0 || got[2] != 0 {
+		t.Errorf("constant column should scale to 0, got %v", got)
+	}
+	// Original unchanged.
+	if ds.Value(0, 0) != -2 {
+		t.Error("MinMaxScaled mutated the source")
+	}
+}
+
+func TestStandardized(t *testing.T) {
+	ds := MustNew(nil, [][]float64{{1, 2, 3, 4, 5}, {9, 9, 9, 9, 9}})
+	st := ds.Standardized()
+	col := st.Col(0)
+	sum, sumSq := 0.0, 0.0
+	for _, v := range col {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / 5
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("standardized mean = %v", mean)
+	}
+	variance := (sumSq - 5*mean*mean) / 4
+	if math.Abs(variance-1) > 1e-12 {
+		t.Errorf("standardized variance = %v", variance)
+	}
+	for _, v := range st.Col(1) {
+		if v != 0 {
+			t.Errorf("constant column should standardize to 0, got %v", v)
+		}
+	}
+}
+
+func TestLabeledNumOutliers(t *testing.T) {
+	l := &Labeled{Outlier: []bool{true, false, true, true}}
+	if got := l.NumOutliers(); got != 3 {
+		t.Errorf("NumOutliers = %d", got)
+	}
+}
+
+// Property: SortedIndex always yields a permutation ordering the column.
+func TestQuickSortedIndexPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		col := make([]float64, int(n%100)+1)
+		for i := range col {
+			col[i] = math.Floor(r.Float64() * 10) // force ties
+		}
+		ds := MustNew(nil, [][]float64{col})
+		idx := ds.SortedIndex(0)
+		seen := make([]bool, len(col))
+		for i, id := range idx {
+			if id < 0 || id >= len(col) || seen[id] {
+				return false
+			}
+			seen[id] = true
+			if i > 0 && col[idx[i-1]] > col[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinMaxScaled output is always within [0,1].
+func TestQuickMinMaxRange(t *testing.T) {
+	f := func(seed uint64, n, d uint8) bool {
+		r := rng.New(seed)
+		nn := int(n%50) + 1
+		dd := int(d%5) + 1
+		cols := make([][]float64, dd)
+		for j := range cols {
+			cols[j] = make([]float64, nn)
+			for i := range cols[j] {
+				cols[j][i] = r.NormalScaled(0, 100)
+			}
+		}
+		sc := MustNew(nil, cols).MinMaxScaled()
+		for j := 0; j < dd; j++ {
+			for _, v := range sc.Col(j) {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/rng"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.9, 0.95}
+	labels := []bool{false, false, true, true}
+	auc, err := AUC(scores, labels)
+	if err != nil || auc != 1 {
+		t.Errorf("AUC = %v, err %v", auc, err)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	scores := []float64{0.9, 0.95, 0.1, 0.2}
+	labels := []bool{false, false, true, true}
+	auc, _ := AUC(scores, labels)
+	if auc != 0 {
+		t.Errorf("AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCRandomHalf(t *testing.T) {
+	// All scores tied: AUC must be exactly 0.5 under the midrank convention.
+	scores := []float64{1, 1, 1, 1, 1, 1}
+	labels := []bool{true, false, true, false, true, false}
+	auc, _ := AUC(scores, labels)
+	if auc != 0.5 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// Hand-computed: pos scores {3, 1}, neg scores {2, 0}.
+	// Pairs: (3>2), (3>0), (1<2), (1>0) → 3 of 4 → AUC 0.75.
+	scores := []float64{3, 1, 2, 0}
+	labels := []bool{true, true, false, false}
+	auc, _ := AUC(scores, labels)
+	if auc != 0.75 {
+		t.Errorf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCWithTieBetweenClasses(t *testing.T) {
+	// pos {2}, neg {2, 0}: pair (2,2) counts 0.5, (2,0) counts 1 → 0.75.
+	scores := []float64{2, 2, 0}
+	labels := []bool{true, false, false}
+	auc, _ := AUC(scores, labels)
+	if auc != 0.75 {
+		t.Errorf("tied-class AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := AUC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class labels should fail")
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	scores := []float64{4, 3, 2, 1}
+	labels := []bool{true, false, true, false}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("curve start = %+v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve end = %+v", last)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	r := rng.New(7)
+	scores := make([]float64, 200)
+	labels := make([]bool, 200)
+	for i := range scores {
+		scores[i] = math.Floor(r.Float64()*20) / 20 // create ties
+		labels[i] = r.Float64() < 0.1
+	}
+	labels[0] = true
+	labels[1] = false
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestAUCFromROCMatchesAUC(t *testing.T) {
+	r := rng.New(8)
+	scores := make([]float64, 500)
+	labels := make([]bool, 500)
+	for i := range scores {
+		scores[i] = math.Floor(r.Float64()*50) / 50
+		labels[i] = r.Float64() < 0.08
+	}
+	labels[0], labels[1] = true, false
+	direct, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integrated := AUCFromROC(curve)
+	if math.Abs(direct-integrated) > 1e-9 {
+		t.Errorf("rank AUC %v != trapezoid AUC %v", direct, integrated)
+	}
+}
+
+func TestPrecisionAtN(t *testing.T) {
+	scores := []float64{9, 8, 7, 1}
+	labels := []bool{true, false, true, false}
+	p, err := PrecisionAtN(scores, labels, 2)
+	if err != nil || p != 0.5 {
+		t.Errorf("P@2 = %v, err %v", p, err)
+	}
+	p, _ = PrecisionAtN(scores, labels, 3)
+	if math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Errorf("P@3 = %v", p)
+	}
+	// n beyond length clamps.
+	p, _ = PrecisionAtN(scores, labels, 100)
+	if p != 0.5 {
+		t.Errorf("P@all = %v", p)
+	}
+	if _, err := PrecisionAtN(scores, labels, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := PrecisionAtN(scores, labels[:2], 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 6})
+	if mean != 4 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(std-math.Sqrt(8.0/3.0)) > 1e-12 {
+		t.Errorf("std = %v", std)
+	}
+	mean, std = MeanStd(nil)
+	if !math.IsNaN(mean) || !math.IsNaN(std) {
+		t.Error("empty MeanStd should be NaN")
+	}
+}
+
+// Property: AUC is always within [0,1] and flipping labels mirrors it.
+func TestQuickAUCBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		m := int(n%100) + 2
+		scores := make([]float64, m)
+		labels := make([]bool, m)
+		for i := range scores {
+			scores[i] = math.Floor(r.Float64()*10) / 10
+			labels[i] = r.Float64() < 0.3
+		}
+		labels[0], labels[1] = true, false // both classes present
+		auc, err := AUC(scores, labels)
+		if err != nil || auc < 0 || auc > 1 {
+			return false
+		}
+		inv := make([]bool, m)
+		for i := range inv {
+			inv[i] = !labels[i]
+		}
+		aucInv, err := AUC(scores, inv)
+		if err != nil {
+			return false
+		}
+		return math.Abs(auc+aucInv-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a constant to all scores never changes AUC
+// (AUC is rank-based).
+func TestQuickAUCShiftInvariant(t *testing.T) {
+	f := func(seed uint64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 1
+		}
+		shift = math.Mod(shift, 1e6)
+		r := rng.New(seed)
+		scores := make([]float64, 50)
+		labels := make([]bool, 50)
+		for i := range scores {
+			scores[i] = float64(r.Intn(20))
+			labels[i] = r.Float64() < 0.2
+		}
+		labels[0], labels[1] = true, false
+		a1, err1 := AUC(scores, labels)
+		shifted := make([]float64, len(scores))
+		for i := range shifted {
+			shifted[i] = scores[i] + shift
+		}
+		a2, err2 := AUC(shifted, labels)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"errors"
+	"sort"
+)
+
+// PRPoint is one (recall, precision) coordinate of a precision-recall
+// curve.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// PR returns the precision-recall curve, sweeping the decision threshold
+// from the highest score downwards. Tied scores advance in one step. The
+// curve complements ROC for the heavily imbalanced datasets of outlier
+// mining, where small false-positive rates still mean poor precision.
+func PR(scores []float64, outlier []bool) ([]PRPoint, error) {
+	if len(scores) != len(outlier) {
+		return nil, errors.New("eval: scores and labels differ in length")
+	}
+	var nPos int
+	for _, o := range outlier {
+		if o {
+			nPos++
+		}
+	}
+	if nPos == 0 || nPos == len(outlier) {
+		return nil, errors.New("eval: PR needs at least one outlier and one inlier")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var curve []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		for k := i; k <= j; k++ {
+			if outlier[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		curve = append(curve, PRPoint{
+			Recall:    float64(tp) / float64(nPos),
+			Precision: float64(tp) / float64(tp+fp),
+		})
+		i = j + 1
+	}
+	return curve, nil
+}
+
+// AveragePrecision returns the area under the precision-recall curve
+// using the step-wise interpolation (the "AP" ranking metric): the sum of
+// precision values at each recall increment, weighted by the increment.
+func AveragePrecision(scores []float64, outlier []bool) (float64, error) {
+	curve, err := PR(scores, outlier)
+	if err != nil {
+		return 0, err
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for _, p := range curve {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap, nil
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/rng"
+)
+
+func TestPRPerfectRanking(t *testing.T) {
+	scores := []float64{4, 3, 2, 1}
+	labels := []bool{true, true, false, false}
+	curve, err := PR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision stays 1 until all positives are found.
+	for _, p := range curve {
+		if p.Recall <= 1.0 && p.Recall > 0 && p.Precision < 0.5 {
+			t.Errorf("unexpectedly low precision %v at recall %v", p.Precision, p.Recall)
+		}
+	}
+	ap, err := AveragePrecision(scores, labels)
+	if err != nil || ap != 1 {
+		t.Errorf("AP of perfect ranking = %v, err %v", ap, err)
+	}
+}
+
+func TestPRWorstRanking(t *testing.T) {
+	scores := []float64{1, 2, 3, 4}
+	labels := []bool{true, true, false, false}
+	ap, err := AveragePrecision(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positives at ranks 3 and 4: AP = 0.5·(1/3) + 0.5·(2/4) ≈ 0.4167.
+	want := 0.5*(1.0/3.0) + 0.5*0.5
+	if math.Abs(ap-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", ap, want)
+	}
+}
+
+func TestPRKnownCurve(t *testing.T) {
+	// Ranking: pos, neg, pos, neg.
+	scores := []float64{4, 3, 2, 1}
+	labels := []bool{true, false, true, false}
+	curve, err := PR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PRPoint{
+		{Recall: 0.5, Precision: 1},
+		{Recall: 0.5, Precision: 0.5},
+		{Recall: 1, Precision: 2.0 / 3.0},
+		{Recall: 1, Precision: 0.5},
+	}
+	if len(curve) != len(want) {
+		t.Fatalf("curve length %d, want %d", len(curve), len(want))
+	}
+	for i := range want {
+		if math.Abs(curve[i].Recall-want[i].Recall) > 1e-12 ||
+			math.Abs(curve[i].Precision-want[i].Precision) > 1e-12 {
+			t.Errorf("point %d = %+v, want %+v", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestPRTiesAdvanceTogether(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	curve, err := PR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 {
+		t.Fatalf("tied scores should give one step, got %d", len(curve))
+	}
+	if curve[0].Recall != 1 || curve[0].Precision != 0.5 {
+		t.Errorf("tied step = %+v", curve[0])
+	}
+}
+
+func TestPRErrors(t *testing.T) {
+	if _, err := PR([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PR([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class should fail")
+	}
+	if _, err := AveragePrecision([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Error("AP single-class should fail")
+	}
+}
+
+// Property: AP is within [0,1] and recall ends at 1.
+func TestQuickPRInvariants(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		m := int(n%60) + 4
+		scores := make([]float64, m)
+		labels := make([]bool, m)
+		for i := range scores {
+			scores[i] = math.Floor(r.Float64()*8) / 8
+			labels[i] = r.Float64() < 0.25
+		}
+		labels[0], labels[1] = true, false
+		curve, err := PR(scores, labels)
+		if err != nil {
+			return false
+		}
+		last := curve[len(curve)-1]
+		if last.Recall != 1 {
+			return false
+		}
+		for _, p := range curve {
+			if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 {
+				return false
+			}
+		}
+		ap, err := AveragePrecision(scores, labels)
+		return err == nil && ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

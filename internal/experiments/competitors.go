@@ -1,0 +1,187 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (Sec. V). Each Fig* function regenerates one artifact
+// as a plain-text table on the given writer; cmd/hicsbench exposes them as
+// subcommands and the root bench_test.go wraps them in testing.B benches.
+//
+// The harness compares the same competitor set as the paper:
+// full-space LOF, HiCS(+LOF), Enclus(+LOF), RIS(+LOF), RANDSUB(+LOF), and
+// the two PCA variants, all sharing one LOF parameterization and the
+// "best 100 subspaces" budget (Sec. V).
+package experiments
+
+import (
+	"strings"
+
+	"hics/internal/core"
+	"hics/internal/enclus"
+	"hics/internal/randsub"
+	"hics/internal/ranking"
+	"hics/internal/ris"
+)
+
+// displayName strips the scorer suffix from pipeline names so tables use
+// the paper's method labels (all competitors share the LOF scorer anyway).
+func displayName(r ranking.Ranker) string {
+	return strings.TrimSuffix(r.Name(), "+LOF")
+}
+
+// Config controls experiment sizing. The zero value reproduces the paper's
+// scale; Medium keeps the full sweep ranges at reduced dataset sizes (the
+// recommended mode on a laptop core — the cubic RIS competitor dominates
+// the full-scale runtime); Quick shrinks both sizes and sweeps for smoke
+// tests.
+type Config struct {
+	// Quick selects strongly reduced dataset sizes and sweep grids.
+	Quick bool
+	// Medium keeps the paper's sweep grids at reduced dataset sizes.
+	// Quick wins if both are set.
+	Medium bool
+	// Seed drives dataset generation and all Monte Carlo loops.
+	Seed uint64
+	// MinPts is the shared LOF neighborhood size (0 = 10, as everywhere).
+	MinPts int
+}
+
+// sizing collects every experiment's workload parameters for one mode.
+type sizing struct {
+	dimsN    int   // DB size of the Fig4/5 dimensionality sweep
+	dims     []int // dimensionalities of the Fig4/5 sweep
+	dimsReps int   // repetitions per dimensionality
+
+	fig6Sizes []int // DB sizes of the Fig6 runtime sweep (D=25)
+
+	fig7Ms      []int     // Monte Carlo iteration sweep
+	fig8Alphas  []float64 // slice size sweep
+	fig9Cutoffs []int     // candidate cutoff sweep
+	paramN      int       // DB size of the parameter studies
+	paramD      int       // dimensionality of the parameter studies
+	paramReps   int       // repetitions of the parameter studies
+
+	realCap int // max N of the simulated UCI datasets (0 = original size)
+}
+
+func (c Config) sizing() sizing {
+	switch {
+	case c.Quick:
+		return sizing{
+			dimsN: 300, dims: []int{10, 20, 30}, dimsReps: 2,
+			fig6Sizes:   []int{300, 600, 1200},
+			fig7Ms:      []int{10, 50, 100},
+			fig8Alphas:  []float64{0.05, 0.1, 0.3},
+			fig9Cutoffs: []int{50, 200, 400, 800},
+			paramN:      300, paramD: 15, paramReps: 2,
+			realCap: 800,
+		}
+	case c.Medium:
+		return sizing{
+			dimsN: 500, dims: []int{10, 20, 30, 40, 50, 75, 100}, dimsReps: 2,
+			fig6Sizes:   []int{500, 1000, 2000, 4000},
+			fig7Ms:      []int{10, 25, 50, 100, 200, 500},
+			fig8Alphas:  []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5},
+			fig9Cutoffs: []int{50, 100, 200, 400, 500, 800, 1600, 5000},
+			paramN:      500, paramD: 20, paramReps: 3,
+			realCap: 1500,
+		}
+	default:
+		return sizing{
+			dimsN: 1000, dims: []int{10, 20, 30, 40, 50, 75, 100}, dimsReps: 3,
+			fig6Sizes:   []int{1000, 2500, 5000, 10000},
+			fig7Ms:      []int{10, 25, 50, 100, 200, 500},
+			fig8Alphas:  []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5},
+			fig9Cutoffs: []int{50, 100, 200, 400, 500, 800, 1600, 5000},
+			paramN:      1000, paramD: 25, paramReps: 3,
+			realCap: 0,
+		}
+	}
+}
+
+func (c Config) minPts() int {
+	if c.MinPts > 0 {
+		return c.MinPts
+	}
+	return 10
+}
+
+// hicsParams returns the paper-default HiCS parameters with the given seed.
+func hicsParams(seed uint64) core.Params {
+	return core.Params{M: core.DefaultM, Alpha: core.DefaultAlpha, Cutoff: core.DefaultCutoff, TopK: core.DefaultTopK, Seed: seed}
+}
+
+// newHiCS builds the HiCS+LOF pipeline with paper defaults.
+func newHiCS(cfg Config, seed uint64) ranking.Pipeline {
+	return ranking.Pipeline{
+		Searcher: &core.Searcher{Params: hicsParams(seed)},
+		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+	}
+}
+
+// newLOF builds the full-space LOF baseline.
+func newLOF(cfg Config) ranking.Pipeline {
+	return ranking.Pipeline{Searcher: ranking.FullSpace{}, Scorer: ranking.LOFScorer{MinPts: cfg.minPts()}}
+}
+
+// newEnclus builds the Enclus+LOF competitor.
+func newEnclus(cfg Config) ranking.Pipeline {
+	return ranking.Pipeline{
+		Searcher: &enclus.Searcher{Params: enclus.Params{TopK: 100}},
+		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+	}
+}
+
+// newRIS builds the RIS+LOF competitor.
+func newRIS(cfg Config) ranking.Pipeline {
+	return ranking.Pipeline{
+		Searcher: &ris.Searcher{Params: ris.Params{TopK: 100}},
+		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+	}
+}
+
+// newRandSub builds the feature-bagging baseline.
+func newRandSub(cfg Config, seed uint64) ranking.Pipeline {
+	return ranking.Pipeline{
+		Searcher: &randsub.Searcher{Params: randsub.Params{Count: 100, Seed: seed}},
+		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+	}
+}
+
+// newPCALOF1 reduces to 50% of the attributes before full-space LOF.
+func newPCALOF1(cfg Config) ranking.PCAPipeline {
+	return ranking.PCAPipeline{
+		Components: func(d int) int { return (d + 1) / 2 },
+		Scorer:     ranking.LOFScorer{MinPts: cfg.minPts()},
+		Label:      "PCALOF1",
+	}
+}
+
+// newPCALOF2 reduces to a constant 10 principal components.
+func newPCALOF2(cfg Config) ranking.PCAPipeline {
+	return ranking.PCAPipeline{
+		Components: func(d int) int { return 10 },
+		Scorer:     ranking.LOFScorer{MinPts: cfg.minPts()},
+		Label:      "PCALOF2",
+	}
+}
+
+// subspaceCompetitors returns the competitor set of the runtime figures
+// (Fig. 5/6): the methods based on subspace rankings.
+func subspaceCompetitors(cfg Config, seed uint64) []ranking.Ranker {
+	return []ranking.Ranker{
+		newHiCS(cfg, seed),
+		newEnclus(cfg),
+		newRIS(cfg),
+		newRandSub(cfg, seed),
+	}
+}
+
+// allCompetitors returns the full Fig. 4 competitor set.
+func allCompetitors(cfg Config, seed uint64) []ranking.Ranker {
+	return []ranking.Ranker{
+		newLOF(cfg),
+		newHiCS(cfg, seed),
+		newEnclus(cfg),
+		newRIS(cfg),
+		newRandSub(cfg, seed),
+		newPCALOF1(cfg),
+		newPCALOF2(cfg),
+	}
+}

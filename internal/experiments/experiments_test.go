@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hics/internal/eval"
+)
+
+// quickCfg keeps the experiment smoke tests fast.
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+func TestFig4And5ShareSweep(t *testing.T) {
+	var buf4, buf5 bytes.Buffer
+	cfg := quickCfg()
+	if err := Fig4(&buf4, cfg); err != nil {
+		t.Fatal(err)
+	}
+	evaluatedOnce := len(dimsSweepCache)
+	if err := Fig5(&buf5, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dimsSweepCache) != evaluatedOnce {
+		t.Error("Fig5 re-ran the sweep instead of using the cache")
+	}
+	out4 := buf4.String()
+	for _, m := range []string{"LOF", "HiCS", "Enclus", "RIS", "RANDSUB", "PCALOF1", "PCALOF2"} {
+		if !strings.Contains(out4, m) {
+			t.Errorf("Fig4 output missing method %s", m)
+		}
+	}
+	out5 := buf5.String()
+	if strings.Contains(out5, "PCALOF1") {
+		t.Error("Fig5 should omit non-subspace methods")
+	}
+	for _, m := range []string{"HiCS", "Enclus", "RIS", "RANDSUB"} {
+		if !strings.Contains(out5, m) {
+			t.Errorf("Fig5 output missing method %s", m)
+		}
+	}
+}
+
+func TestFig4HiCSBeatsLOFInQuickSweep(t *testing.T) {
+	cfg := quickCfg()
+	res, err := runDimsSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the highest dimensionality of the sweep, HiCS must beat full-space
+	// LOF — the paper's headline claim.
+	last := len(res.dims) - 1
+	hics, _ := eval.MeanStd(res.auc["HiCS"][last])
+	lof, _ := eval.MeanStd(res.auc["LOF"][last])
+	if hics <= lof {
+		t.Errorf("HiCS AUC %.3f not above LOF %.3f at D=%d", hics, lof, res.dims[last])
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "N=300") {
+		t.Errorf("Fig6 output lacks size columns:\n%s", buf.String())
+	}
+}
+
+func TestFig7Fig8Run(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HiCS_WT") || !strings.Contains(buf.String(), "HiCS_KS") {
+		t.Error("Fig7 must report both statistical variants")
+	}
+	buf.Reset()
+	if err := Fig8(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a=0.10") {
+		t.Errorf("Fig8 output lacks alpha columns:\n%s", buf.String())
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "400") {
+		t.Errorf("Fig9 output lacks the default cutoff row:\n%s", out)
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig10(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Ionosphere") || !strings.Contains(out, "Pendigits") {
+		t.Error("Fig10 must cover Ionosphere and Pendigits")
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig11(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Ann-Thyroid", "Arrhythmia", "Breast", "Diabetes", "Glass", "Ionosphere", "Pendigits"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Fig11 output missing dataset %s", name)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationWTvsKS(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationAggregation(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationPruning(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationScorer(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"HiCS_WT", "HiCS_KS", "average", "max", "enabled", "disabled", "LOF", "kNN"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("ablation output missing %q", s)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if len(Registry) != 16 {
+		t.Errorf("registry has %d entries, want 16", len(Registry))
+	}
+	for _, e := range Registry {
+		if _, ok := Lookup(e.Name); !ok {
+			t.Errorf("Lookup(%q) failed", e.Name)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Error("Lookup(bogus) should fail")
+	}
+}
+
+func TestTprAt(t *testing.T) {
+	curve := []eval.ROCPoint{{FPR: 0, TPR: 0}, {FPR: 0.5, TPR: 0.8}, {FPR: 1, TPR: 1}}
+	if got := tprAt(curve, 0.25); got != 0.4 {
+		t.Errorf("tprAt(0.25) = %v, want 0.4", got)
+	}
+	if got := tprAt(curve, 0.75); got != 0.9 {
+		t.Errorf("tprAt(0.75) = %v, want 0.9", got)
+	}
+	if got := tprAt(curve, 2); got != 1 {
+		t.Errorf("tprAt beyond curve = %v, want 1", got)
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExtTests(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"HiCS", "HiCS_KS", "HiCS_MW", "HiCS_CVM"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("ExtTests output missing %q", s)
+		}
+	}
+	buf.Reset()
+	if err := ExtScorers(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, s := range []string{"LOF", "kNN-dist", "ORCA", "OUTRES", "OUTRES-prod"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("ExtScorers output missing %q", s)
+		}
+	}
+	buf.Reset()
+	if err := ExtSearchers(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, s := range []string{"HiCS", "Enclus", "RIS", "SURFING", "RANDSUB"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("ExtSearchers output missing %q", s)
+		}
+	}
+	buf.Reset()
+	if err := ExtPrecision(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AP") {
+		t.Error("ExtPrecision output missing AP column")
+	}
+}

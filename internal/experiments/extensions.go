@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hics/internal/core"
+	"hics/internal/eval"
+	"hics/internal/ranking"
+	"hics/internal/surfing"
+
+	"hics/internal/orca"
+	"hics/internal/outres"
+)
+
+// ExtTests evaluates all four statistical instantiations of the contrast
+// measure: the paper's HiCS_WT and HiCS_KS plus the Mann–Whitney and
+// Cramér–von Mises extensions this library adds.
+func ExtTests(w io.Writer, cfg Config) error {
+	reps := cfg.sizing().paramReps
+	data, err := paramSweepData(cfg, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Extension — all statistical instantiations of the contrast measure")
+	fmt.Fprintf(w, "%-10s %10s %12s\n", "variant", "AUC", "runtime")
+	for _, tt := range []core.Test{core.WelchT, core.KolmogorovSmirnov, core.MannWhitney, core.CramerVonMises} {
+		searcher := &core.Searcher{}
+		searcher.Params = hicsParams(cfg.Seed)
+		searcher.Params.Test = tt
+		var aucs, secs []float64
+		for _, l := range data {
+			pipe := ranking.Pipeline{Searcher: searcher, Scorer: ranking.LOFScorer{MinPts: cfg.minPts()}}
+			auc, elapsed, err := rankAUC(pipe, l)
+			if err != nil {
+				return err
+			}
+			aucs = append(aucs, auc)
+			secs = append(secs, elapsed.Seconds())
+		}
+		aucMean, _ := eval.MeanStd(aucs)
+		secMean, _ := eval.MeanStd(secs)
+		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", searcher.Name(), 100*aucMean, secMean)
+	}
+	return nil
+}
+
+// ExtScorers evaluates the ranking-step instantiations on top of the HiCS
+// subspace search: LOF (the paper's choice), the kNN-distance score, and
+// the two future-work scorers ORCA and OUTRES. OUTRES additionally runs
+// with its native product aggregation.
+func ExtScorers(w io.Writer, cfg Config) error {
+	reps := cfg.sizing().paramReps
+	data, err := paramSweepData(cfg, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Extension — scorer instantiations of the ranking step (HiCS search)")
+	fmt.Fprintf(w, "%-16s %10s %12s\n", "scorer", "AUC", "runtime")
+	type entry struct {
+		label  string
+		scorer ranking.Scorer
+		agg    ranking.Aggregation
+	}
+	entries := []entry{
+		{"LOF", ranking.LOFScorer{MinPts: cfg.minPts()}, ranking.Average},
+		{"kNN-dist", ranking.KNNScorer{K: cfg.minPts()}, ranking.Average},
+		{"ORCA", orca.Scorer{K: cfg.minPts(), TopN: 50, Seed: cfg.Seed}, ranking.Average},
+		{"OUTRES", outres.Scorer{}, ranking.Average},
+		{"OUTRES-prod", outres.Scorer{}, ranking.Product},
+	}
+	for _, e := range entries {
+		var aucs, secs []float64
+		for _, l := range data {
+			pipe := ranking.Pipeline{
+				Searcher: &core.Searcher{Params: hicsParams(cfg.Seed)},
+				Scorer:   e.scorer,
+				Agg:      e.agg,
+			}
+			auc, elapsed, err := rankAUC(pipe, l)
+			if err != nil {
+				return err
+			}
+			aucs = append(aucs, auc)
+			secs = append(secs, elapsed.Seconds())
+		}
+		aucMean, _ := eval.MeanStd(aucs)
+		secMean, _ := eval.MeanStd(secs)
+		fmt.Fprintf(w, "%-16s %9.1f%% %11.2fs\n", e.label, 100*aucMean, secMean)
+	}
+	return nil
+}
+
+// ExtSearchers compares HiCS against the full set of subspace search
+// techniques surveyed in the paper's related work, including SURFING,
+// which the paper cites but does not evaluate.
+func ExtSearchers(w io.Writer, cfg Config) error {
+	reps := cfg.sizing().paramReps
+	data, err := paramSweepData(cfg, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Extension — subspace searchers incl. SURFING (LOF ranking)")
+	fmt.Fprintf(w, "%-10s %10s %12s\n", "searcher", "AUC", "runtime")
+	searchers := []ranking.SubspaceSearcher{
+		&core.Searcher{Params: hicsParams(cfg.Seed)},
+		// Enclus/RIS via their pipeline builders to reuse defaults.
+		newEnclus(cfg).Searcher,
+		newRIS(cfg).Searcher,
+		&surfing.Searcher{Params: surfing.Params{K: cfg.minPts(), TopK: 100}},
+		newRandSub(cfg, cfg.Seed).Searcher,
+	}
+	for _, s := range searchers {
+		var aucs, secs []float64
+		for _, l := range data {
+			pipe := ranking.Pipeline{Searcher: s, Scorer: ranking.LOFScorer{MinPts: cfg.minPts()}}
+			auc, elapsed, err := rankAUC(pipe, l)
+			if err != nil {
+				return err
+			}
+			aucs = append(aucs, auc)
+			secs = append(secs, elapsed.Seconds())
+		}
+		aucMean, _ := eval.MeanStd(aucs)
+		secMean, _ := eval.MeanStd(secs)
+		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", s.Name(), 100*aucMean, secMean)
+	}
+	return nil
+}
+
+// ExtPrecision reports precision-oriented metrics (average precision and
+// precision@|outliers|) alongside AUC for the main competitors — the view
+// Fig. 10's "high recall with best precision" discussion calls for.
+func ExtPrecision(w io.Writer, cfg Config) error {
+	reps := cfg.sizing().paramReps
+	data, err := paramSweepData(cfg, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Extension — precision metrics (average precision, P@n)")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s\n", "method", "AUC", "AP", "P@n")
+	for _, r := range []ranking.Ranker{newLOF(cfg), newHiCS(cfg, cfg.Seed), newEnclus(cfg), newRandSub(cfg, cfg.Seed)} {
+		var aucs, aps, patns []float64
+		for _, l := range data {
+			res, err := r.Rank(l.Data)
+			if err != nil {
+				return err
+			}
+			auc, err := eval.AUC(res.Scores, l.Outlier)
+			if err != nil {
+				return err
+			}
+			ap, err := eval.AveragePrecision(res.Scores, l.Outlier)
+			if err != nil {
+				return err
+			}
+			patn, err := eval.PrecisionAtN(res.Scores, l.Outlier, l.NumOutliers())
+			if err != nil {
+				return err
+			}
+			aucs = append(aucs, auc)
+			aps = append(aps, ap)
+			patns = append(patns, patn)
+		}
+		aucMean, _ := eval.MeanStd(aucs)
+		apMean, _ := eval.MeanStd(aps)
+		pMean, _ := eval.MeanStd(patns)
+		fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%% %9.1f%%\n",
+			displayName(r), 100*aucMean, 100*apMean, 100*pMean)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+)
+
+func grid2D() *dataset.Dataset {
+	// Five points on a line plus one far away.
+	return dataset.MustNew(nil, [][]float64{
+		{0, 1, 2, 3, 4, 100},
+		{0, 0, 0, 0, 0, 0},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := grid2D()
+	if _, err := New(ds, nil); err == nil {
+		t.Error("empty subspace should fail")
+	}
+	if _, err := New(ds, []int{5}); err == nil {
+		t.Error("out-of-range dim should fail")
+	}
+}
+
+func TestDist(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{0, 3}, {0, 4}})
+	s, err := New(ds, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Dist(0, 1); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	// Subspace restriction: only first dim.
+	s1, _ := New(ds, []int{0})
+	if d := s1.Dist(0, 1); d != 3 {
+		t.Errorf("subspace Dist = %v, want 3", d)
+	}
+}
+
+func TestNeighborhoodBasic(t *testing.T) {
+	ds := grid2D()
+	s, _ := New(ds, []int{0, 1})
+	sc := s.NewScratch()
+	nb, kd := s.Neighborhood(0, 2, sc, nil)
+	// Two nearest of point 0 are points 1 (d=1) and 2 (d=2).
+	if kd != 2 {
+		t.Errorf("kdist = %v, want 2", kd)
+	}
+	if len(nb) != 2 || nb[0].ID != 1 || nb[1].ID != 2 {
+		t.Errorf("neighbors = %v", nb)
+	}
+	if nb[0].Dist != 1 || nb[1].Dist != 2 {
+		t.Errorf("distances = %v", nb)
+	}
+}
+
+func TestNeighborhoodTies(t *testing.T) {
+	// Point 2 has points 1 and 3 at distance 1, 0 and 4 at distance 2.
+	ds := grid2D()
+	s, _ := New(ds, []int{0})
+	sc := s.NewScratch()
+	nb, kd := s.Neighborhood(2, 3, sc, nil)
+	// 3rd nearest is at distance 2, and the tie at distance 2 (both point 0
+	// and 4) must be included per the LOF neighborhood definition.
+	if kd != 2 {
+		t.Errorf("kdist = %v", kd)
+	}
+	if len(nb) != 4 {
+		t.Errorf("tie expansion failed: %v", nb)
+	}
+}
+
+func TestNeighborhoodExcludesSelf(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{1, 1, 5}}) // duplicate points
+	s, _ := New(ds, []int{0})
+	sc := s.NewScratch()
+	nb, kd := s.Neighborhood(0, 1, sc, nil)
+	if kd != 0 {
+		t.Errorf("kdist with duplicate = %v, want 0", kd)
+	}
+	if len(nb) != 1 || nb[0].ID != 1 {
+		t.Errorf("neighbors = %v", nb)
+	}
+}
+
+func TestNeighborhoodKClamp(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{0, 1, 2}})
+	s, _ := New(ds, []int{0})
+	sc := s.NewScratch()
+	nb, _ := s.Neighborhood(0, 10, sc, nil)
+	if len(nb) != 2 {
+		t.Errorf("clamped neighborhood = %v", nb)
+	}
+}
+
+func TestCountWithin(t *testing.T) {
+	ds := grid2D()
+	s, _ := New(ds, []int{0})
+	sc := s.NewScratch()
+	if got := s.CountWithin(2, 1.5, sc); got != 2 {
+		t.Errorf("CountWithin = %d, want 2", got)
+	}
+	if got := s.CountWithin(2, 2, sc); got != 4 {
+		t.Errorf("CountWithin inclusive = %d, want 4", got)
+	}
+	if got := s.CountWithin(5, 1, sc); got != 0 {
+		t.Errorf("isolated point CountWithin = %d", got)
+	}
+}
+
+func TestQuickselect(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntRange(1, 200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 20) // ties likely
+		}
+		k := r.Intn(n)
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		got := quickselect(append([]float64(nil), xs...), k)
+		if got != want[k] {
+			t.Fatalf("quickselect(%v, %d) = %v, want %v", xs, k, got, want[k])
+		}
+	}
+}
+
+func TestQuickselectSortedInput(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if got := quickselect(xs, 500); got != 500 {
+		t.Errorf("quickselect sorted = %v", got)
+	}
+}
+
+// Property: the neighborhood returned is exactly the set of points with
+// distance <= kdist, and kdist is the k-th smallest distance.
+func TestQuickNeighborhoodDefinition(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%30) + 3
+		k := int(kRaw)%(n-1) + 1
+		col1 := make([]float64, n)
+		col2 := make([]float64, n)
+		for i := range col1 {
+			col1[i] = math.Floor(r.Float64() * 5) // heavy ties
+			col2[i] = math.Floor(r.Float64() * 5)
+		}
+		ds := dataset.MustNew(nil, [][]float64{col1, col2})
+		s, _ := New(ds, []int{0, 1})
+		sc := s.NewScratch()
+		q := r.Intn(n)
+		nb, kd := s.Neighborhood(q, k, sc, nil)
+
+		// Reference: sort all distances.
+		type pair struct {
+			id int
+			d  float64
+		}
+		var all []pair
+		for i := 0; i < n; i++ {
+			if i != q {
+				all = append(all, pair{i, s.Dist(q, i)})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		wantKd := all[k-1].d
+		if math.Abs(kd-wantKd) > 1e-12 {
+			return false
+		}
+		wantSet := map[int]bool{}
+		for _, p := range all {
+			if p.d <= wantKd+1e-12 {
+				wantSet[p.id] = true
+			}
+		}
+		if len(nb) != len(wantSet) {
+			return false
+		}
+		for _, x := range nb {
+			if !wantSet[x.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNeighborhood(b *testing.B) {
+	r := rng.New(1)
+	const n = 1000
+	cols := make([][]float64, 3)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = r.Float64()
+		}
+	}
+	ds := dataset.MustNew(nil, cols)
+	s, _ := New(ds, []int{0, 1, 2})
+	sc := s.NewScratch()
+	var nb []Neighbor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb, _ = s.Neighborhood(i%n, 10, sc, nb)
+	}
+}

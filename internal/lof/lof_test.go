@@ -1,0 +1,262 @@
+package lof
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+)
+
+// clusterWithOutlier builds a tight Gaussian blob plus one far-away point
+// (the last object).
+func clusterWithOutlier(seed uint64, n int) *dataset.Dataset {
+	r := rng.New(seed)
+	x := make([]float64, n+1)
+	y := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		x[i] = r.NormalScaled(0, 0.1)
+		y[i] = r.NormalScaled(0, 0.1)
+	}
+	x[n], y[n] = 5, 5
+	return dataset.MustNew(nil, [][]float64{x, y})
+}
+
+func TestLOFFlagsObviousOutlier(t *testing.T) {
+	ds := clusterWithOutlier(1, 60)
+	scores, err := Scores(ds, []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := scores[len(scores)-1]
+	for i := 0; i < len(scores)-1; i++ {
+		if scores[i] >= out {
+			t.Fatalf("inlier %d score %v >= outlier score %v", i, scores[i], out)
+		}
+	}
+	if out < 2 {
+		t.Errorf("outlier LOF = %v, expected clearly above cluster scores", out)
+	}
+}
+
+func TestLOFUniformScoresNearOne(t *testing.T) {
+	// Points on a regular grid have uniform density: LOF ≈ 1 everywhere.
+	var x, y []float64
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			x = append(x, float64(i))
+			y = append(y, float64(j))
+		}
+	}
+	ds := dataset.MustNew(nil, [][]float64{x, y})
+	scores, err := Scores(ds, []int{0, 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s < 0.8 || s > 1.35 {
+			t.Errorf("grid point %d LOF = %v, want ~1", i, s)
+		}
+	}
+}
+
+func TestLOFSubspaceRestriction(t *testing.T) {
+	// Outlier only in dim 0; dim 1 is pure noise that would mask it.
+	r := rng.New(2)
+	n := 80
+	x := make([]float64, n+1)
+	y := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		x[i] = r.NormalScaled(0, 0.05)
+		y[i] = r.Float64() * 100
+	}
+	x[n] = 3
+	y[n] = 50
+	ds := dataset.MustNew(nil, [][]float64{x, y})
+
+	sub, err := Scores(ds, []int{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := 0
+	for i := 0; i < n; i++ {
+		if sub[i] >= sub[n] {
+			rank++
+		}
+	}
+	if rank > 2 {
+		t.Errorf("outlier not top-ranked in its subspace (beaten by %d)", rank)
+	}
+}
+
+func TestLOFDuplicatePoints(t *testing.T) {
+	// Many exact duplicates: lrd is infinite, LOF must stay finite (=1)
+	// for the duplicated points rather than NaN.
+	x := []float64{1, 1, 1, 1, 1, 9}
+	ds := dataset.MustNew(nil, [][]float64{x})
+	scores, err := Scores(ds, []int{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.IsNaN(scores[i]) {
+			t.Fatalf("duplicate point %d has NaN LOF", i)
+		}
+		if scores[i] != 1 {
+			t.Errorf("duplicate point %d LOF = %v, want 1", i, scores[i])
+		}
+	}
+	// The isolated point's neighbors all have infinite lrd while its own is
+	// finite, so its LOF is +Inf per the original definition — it must rank
+	// above every duplicate and must not be NaN.
+	if math.IsNaN(scores[5]) {
+		t.Errorf("isolated point LOF = %v, want non-NaN", scores[5])
+	}
+	if scores[5] <= 1 {
+		t.Errorf("isolated point LOF = %v, want > 1", scores[5])
+	}
+}
+
+func TestLOFErrors(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{1}})
+	if _, err := Scores(ds, []int{0}, 3); err == nil {
+		t.Error("single object should fail")
+	}
+	ds2 := dataset.MustNew(nil, [][]float64{{1, 2}})
+	if _, err := Scores(ds2, []int{7}, 3); err == nil {
+		t.Error("bad dimension should fail")
+	}
+	if _, err := Scores(ds2, nil, 3); err == nil {
+		t.Error("empty subspace should fail")
+	}
+}
+
+func TestLOFDefaultMinPts(t *testing.T) {
+	ds := clusterWithOutlier(3, 40)
+	a, err := Scores(ds, []int{0, 1}, 0) // falls back to default
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scores(ds, []int{0, 1}, DefaultMinPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("minPts<1 should equal DefaultMinPts")
+		}
+	}
+}
+
+func TestKNNScoresOutlier(t *testing.T) {
+	ds := clusterWithOutlier(4, 50)
+	scores, err := KNNScores(ds, []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := scores[len(scores)-1]
+	for i := 0; i < len(scores)-1; i++ {
+		if scores[i] >= out {
+			t.Fatalf("kNN score of inlier %d >= outlier", i)
+		}
+	}
+}
+
+func TestKNNScoresErrors(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{1}})
+	if _, err := KNNScores(ds, []int{0}, 3); err == nil {
+		t.Error("single object should fail")
+	}
+	if _, err := KNNScores(dataset.MustNew(nil, [][]float64{{1, 2}}), nil, 3); err == nil {
+		t.Error("empty dims should fail")
+	}
+}
+
+// Property: LOF scores are finite, positive numbers for data without exact
+// duplicates.
+func TestQuickLOFFinite(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%60) + 12
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal()
+			y[i] = r.Normal()
+		}
+		ds := dataset.MustNew(nil, [][]float64{x, y})
+		scores, err := Scores(ds, []int{0, 1}, 5)
+		if err != nil {
+			return false
+		}
+		for _, s := range scores {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LOF is invariant under translation and uniform scaling of the
+// data (it is a ratio of densities).
+func TestQuickLOFScaleInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 40
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal()
+			y[i] = r.Normal()
+		}
+		ds := dataset.MustNew(nil, [][]float64{x, y})
+		a, err := Scores(ds, []int{0, 1}, 5)
+		if err != nil {
+			return false
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range x {
+			xs[i] = 3*x[i] + 7
+			ys[i] = 3*y[i] + 7
+		}
+		ds2 := dataset.MustNew(nil, [][]float64{xs, ys})
+		b, err := Scores(ds2, []int{0, 1}, 5)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLOF1000x3(b *testing.B) {
+	r := rng.New(1)
+	const n = 1000
+	cols := make([][]float64, 3)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = r.Float64()
+		}
+	}
+	ds := dataset.MustNew(nil, cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Scores(ds, []int{0, 1, 2}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package orca implements the randomized distance-based outlier miner of
+// Bay & Schwabacher ("Mining distance-based outliers in near linear time
+// with randomization and a simple pruning rule", KDD 2003), which the
+// paper's future work names as the efficiency upgrade for the ranking
+// step: "ORCA would improve the efficiency from a quadratic to a linear
+// runtime in the outlier ranking step."
+//
+// ORCA scores an object by its average distance to its k nearest
+// neighbors and reports the top-n outliers. Its speed comes from a
+// pruning rule: while scanning the (randomly shuffled) database to refine
+// a candidate's k-NN set, the current average over the k nearest
+// distances found so far is an upper bound on the final score — as soon
+// as it drops below the weakest score in the current top-n, the candidate
+// cannot be a top outlier and the scan aborts. With a randomized scan
+// order the cutoff rises quickly and most candidates are pruned after a
+// handful of distance computations.
+package orca
+
+import (
+	"fmt"
+	"sort"
+
+	"hics/internal/dataset"
+	"hics/internal/knn"
+	"hics/internal/rng"
+)
+
+// Params configures the ORCA run. Zero values select k=10 and n=30.
+type Params struct {
+	// K is the neighborhood size of the distance score.
+	K int
+	// TopN is the number of outliers to mine.
+	TopN int
+	// Seed drives the randomized candidate and scan orders.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.K <= 0 {
+		p.K = 10
+	}
+	if p.TopN <= 0 {
+		p.TopN = 30
+	}
+	return p
+}
+
+// Outlier is one mined outlier with its average-kNN-distance score.
+type Outlier struct {
+	ID    int
+	Score float64
+}
+
+// Stats reports the work ORCA performed, for the pruning-efficiency bench.
+type Stats struct {
+	// DistanceComputations counts evaluated object pairs.
+	DistanceComputations int
+	// Pruned counts candidates abandoned by the cutoff rule.
+	Pruned int
+}
+
+// TopOutliers mines the TopN outliers of ds in the given subspace.
+// Results are sorted by descending score.
+func TopOutliers(ds *dataset.Dataset, dims []int, p Params) ([]Outlier, Stats, error) {
+	p = p.withDefaults()
+	searcher, err := knn.New(ds, dims)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("orca: %w", err)
+	}
+	n := ds.N()
+	if n < 2 {
+		return nil, Stats{}, fmt.Errorf("orca: need at least 2 objects, have %d", n)
+	}
+	k := p.K
+	if k > n-1 {
+		k = n - 1
+	}
+	topN := p.TopN
+	if topN > n {
+		topN = n
+	}
+
+	r := rng.New(p.Seed)
+	candOrder := r.Perm(n)
+	scanOrder := r.Perm(n)
+
+	var stats Stats
+	var top []Outlier // sorted ascending by score; top[0] is the cutoff
+	cutoff := 0.0
+
+	// kdist is a max-heap (simple slice, small k) of the current nearest
+	// distances of the candidate being scanned.
+	kdist := make([]float64, 0, k)
+	for _, q := range candOrder {
+		kdist = kdist[:0]
+		sum := 0.0
+		pruned := false
+		for _, o := range scanOrder {
+			if o == q {
+				continue
+			}
+			d := searcher.Dist(q, o)
+			stats.DistanceComputations++
+			if len(kdist) < k {
+				kdist = append(kdist, d)
+				sum += d
+				if len(kdist) == k {
+					sort.Float64s(kdist) // establish order once full
+				}
+			} else if d < kdist[k-1] {
+				sum += d - kdist[k-1]
+				// replace the largest, keep sorted by insertion
+				i := sort.SearchFloat64s(kdist[:k-1], d)
+				copy(kdist[i+1:], kdist[i:k-1])
+				kdist[i] = d
+			}
+			// Pruning: once k neighbors are known, the running average can
+			// only decrease; below the cutoff the candidate is done for.
+			if len(kdist) == k && len(top) == topN && sum/float64(k) < cutoff {
+				pruned = true
+				stats.Pruned++
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		score := sum / float64(len(kdist))
+		if len(top) < topN {
+			top = insertAsc(top, Outlier{ID: q, Score: score})
+			if len(top) == topN {
+				cutoff = top[0].Score
+			}
+		} else if score > cutoff {
+			top = insertAsc(top[1:], Outlier{ID: q, Score: score})
+			cutoff = top[0].Score
+		}
+	}
+
+	// Return descending.
+	out := make([]Outlier, len(top))
+	for i, o := range top {
+		out[len(top)-1-i] = o
+	}
+	return out, stats, nil
+}
+
+// insertAsc inserts o into the score-ascending slice.
+func insertAsc(list []Outlier, o Outlier) []Outlier {
+	i := sort.Search(len(list), func(i int) bool { return list[i].Score >= o.Score })
+	list = append(list, Outlier{})
+	copy(list[i+1:], list[i:])
+	list[i] = o
+	return list
+}
+
+// Scorer adapts ORCA to the ranking pipeline: mined outliers keep their
+// distance scores, everything pruned scores zero. The resulting vector is
+// a partial ranking — exactly what ORCA trades for its speed.
+type Scorer struct {
+	// K is the neighborhood size (0 = 10).
+	K int
+	// TopN is the number of outliers mined per subspace (0 = 30).
+	TopN int
+	// Seed drives the randomized scan orders.
+	Seed uint64
+}
+
+// Score implements ranking.Scorer.
+func (s Scorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
+	out, _, err := TopOutliers(ds, dims, Params{K: s.K, TopN: s.TopN, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, ds.N())
+	for _, o := range out {
+		scores[o.ID] = o.Score
+	}
+	return scores, nil
+}
+
+// Name implements ranking.Scorer.
+func (Scorer) Name() string { return "ORCA" }

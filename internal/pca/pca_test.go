@@ -1,0 +1,253 @@
+package pca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+)
+
+func TestFitKnownAxis(t *testing.T) {
+	// Points along the 45° diagonal with tiny orthogonal noise:
+	// the first principal axis must be ±(1,1)/√2.
+	r := rng.New(1)
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tv := r.Normal()
+		noise := r.NormalScaled(0, 0.01)
+		x[i] = tv + noise
+		y[i] = tv - noise
+	}
+	ds := dataset.MustNew(nil, [][]float64{x, y})
+	p, err := Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := p.Component(0)
+	want := 1 / math.Sqrt2
+	if math.Abs(math.Abs(c0[0])-want) > 0.01 || math.Abs(math.Abs(c0[1])-want) > 0.01 {
+		t.Errorf("first component = %v, want ±(0.707, 0.707)", c0)
+	}
+	vals := p.Eigenvalues()
+	if vals[0] < vals[1] {
+		t.Error("eigenvalues not sorted descending")
+	}
+	if vals[0]/vals[1] < 100 {
+		t.Errorf("variance ratio %v too small for a near-degenerate line", vals[0]/vals[1])
+	}
+}
+
+func TestEigenOrthonormal(t *testing.T) {
+	r := rng.New(2)
+	const d = 8
+	// Random symmetric matrix via A = B + Bᵀ.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := r.Normal()
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	// Copy for the residual check.
+	orig := make([][]float64, d)
+	for i := range orig {
+		orig[i] = append([]float64(nil), a[i]...)
+	}
+	vals, vecs := jacobiEigen(a)
+	// Orthonormality of eigenvector columns.
+	for c1 := 0; c1 < d; c1++ {
+		for c2 := c1; c2 < d; c2++ {
+			dot := 0.0
+			for row := 0; row < d; row++ {
+				dot += vecs[row][c1] * vecs[row][c2]
+			}
+			want := 0.0
+			if c1 == c2 {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("columns %d,%d dot = %v, want %v", c1, c2, dot, want)
+			}
+		}
+	}
+	// Eigen equation residual: A v = λ v.
+	for c := 0; c < d; c++ {
+		for row := 0; row < d; row++ {
+			av := 0.0
+			for k := 0; k < d; k++ {
+				av += orig[row][k] * vecs[k][c]
+			}
+			if math.Abs(av-vals[c]*vecs[row][c]) > 1e-8 {
+				t.Fatalf("eigen residual at (%d,%d): %v vs %v", row, c, av, vals[c]*vecs[row][c])
+			}
+		}
+	}
+}
+
+func TestTransformShapeAndVariance(t *testing.T) {
+	r := rng.New(3)
+	n, d := 200, 6
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = r.Normal()
+		}
+	}
+	ds := dataset.MustNew(nil, cols)
+	p, err := Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := p.Transform(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.N() != n || proj.D() != 3 {
+		t.Fatalf("projected shape %dx%d", proj.N(), proj.D())
+	}
+	if proj.Name(0) != "pc0" {
+		t.Errorf("component name = %q", proj.Name(0))
+	}
+	// Variance of pc0 equals the top eigenvalue.
+	_, v := meanVar(proj.Col(0))
+	if math.Abs(v-p.Eigenvalues()[0]) > 1e-8*(1+v) {
+		t.Errorf("pc0 variance %v != eigenvalue %v", v, p.Eigenvalues()[0])
+	}
+	// Projected components are uncorrelated.
+	c01 := covar(proj.Col(0), proj.Col(1))
+	if math.Abs(c01) > 1e-8 {
+		t.Errorf("pc0/pc1 covariance = %v, want 0", c01)
+	}
+}
+
+func meanVar(xs []float64) (float64, float64) {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return m, v / float64(len(xs)-1)
+}
+
+func covar(a, b []float64) float64 {
+	ma, _ := meanVar(a)
+	mb, _ := meanVar(b)
+	c := 0.0
+	for i := range a {
+		c += (a[i] - ma) * (b[i] - mb)
+	}
+	return c / float64(len(a)-1)
+}
+
+func TestExplainedVariance(t *testing.T) {
+	r := rng.New(4)
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormalScaled(0, 10)
+		y[i] = r.NormalScaled(0, 1)
+	}
+	ds := dataset.MustNew(nil, [][]float64{x, y})
+	p, _ := Fit(ds)
+	ev1 := p.ExplainedVariance(1)
+	if ev1 < 0.95 {
+		t.Errorf("explained variance of dominant axis = %v", ev1)
+	}
+	if got := p.ExplainedVariance(2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full explained variance = %v", got)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	p, err := Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform(ds, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := p.Transform(ds, 3); err == nil {
+		t.Error("k>D should fail")
+	}
+	other := dataset.MustNew(nil, [][]float64{{1, 2}})
+	if _, err := p.Transform(other, 1); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	ds := dataset.MustNew(nil, [][]float64{{1}})
+	if _, err := Fit(ds); err == nil {
+		t.Error("single object should fail")
+	}
+}
+
+func TestFitTransform(t *testing.T) {
+	r := rng.New(5)
+	n := 50
+	cols := make([][]float64, 4)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = r.Normal()
+		}
+	}
+	ds := dataset.MustNew(nil, cols)
+	proj, err := FitTransform(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.D() != 2 || proj.N() != n {
+		t.Errorf("FitTransform shape %dx%d", proj.N(), proj.D())
+	}
+}
+
+// Property: total variance is preserved by a full-rank transform
+// (trace invariance under orthogonal rotation).
+func TestQuickVariancePreservation(t *testing.T) {
+	f := func(seed uint64, dRaw uint8) bool {
+		r := rng.New(seed)
+		d := int(dRaw%5) + 2
+		n := 60
+		cols := make([][]float64, d)
+		for j := range cols {
+			cols[j] = make([]float64, n)
+			for i := range cols[j] {
+				cols[j][i] = r.Normal()
+			}
+		}
+		ds := dataset.MustNew(nil, cols)
+		p, err := Fit(ds)
+		if err != nil {
+			return false
+		}
+		totalOrig := 0.0
+		for j := 0; j < d; j++ {
+			_, v := meanVar(ds.Col(j))
+			totalOrig += v
+		}
+		totalEig := 0.0
+		for _, v := range p.Eigenvalues() {
+			totalEig += v
+		}
+		return math.Abs(totalOrig-totalEig) < 1e-8*(1+totalOrig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package ranking implements the decoupled two-step processing the paper
+// proposes: a SubspaceSearcher (step 1) produces a ranked list of
+// projections, a Scorer (step 2) computes density-based outlier scores in
+// each projection, and an Aggregation combines the per-subspace scores
+// into the final outlier ranking (Definition 1).
+//
+// The decoupling is the point: every searcher in this repository (HiCS,
+// Enclus, RIS, RANDSUB, full space) plugs into every scorer (LOF, kNN)
+// without either knowing about the other, which is exactly the modularity
+// argument of the paper's introduction.
+package ranking
+
+import (
+	"errors"
+	"fmt"
+
+	"hics/internal/dataset"
+	"hics/internal/lof"
+	"hics/internal/pca"
+	"hics/internal/subspace"
+)
+
+// SubspaceSearcher is step 1: select projections worth ranking in.
+type SubspaceSearcher interface {
+	// Search returns subspaces ordered by descending quality.
+	Search(ds *dataset.Dataset) ([]subspace.Scored, error)
+	// Name identifies the method in reports.
+	Name() string
+}
+
+// Scorer is step 2: compute per-object outlier scores within one
+// projection. Higher scores mean more outlying.
+type Scorer interface {
+	Score(ds *dataset.Dataset, dims []int) ([]float64, error)
+	Name() string
+}
+
+// LOFScorer scores with the Local Outlier Factor, the paper's reference
+// instantiation.
+type LOFScorer struct {
+	// MinPts is the LOF neighborhood size; 0 selects lof.DefaultMinPts.
+	MinPts int
+}
+
+// Score implements Scorer.
+func (s LOFScorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
+	return lof.Scores(ds, dims, s.MinPts)
+}
+
+// Name implements Scorer.
+func (s LOFScorer) Name() string { return "LOF" }
+
+// KNNScorer scores with the average k-nearest-neighbor distance, the
+// cheaper alternative named in the paper's future work.
+type KNNScorer struct {
+	// K is the neighborhood size; 0 selects lof.DefaultMinPts.
+	K int
+}
+
+// Score implements Scorer.
+func (s KNNScorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
+	return lof.KNNScores(ds, dims, s.K)
+}
+
+// Name implements Scorer.
+func (s KNNScorer) Name() string { return "kNN" }
+
+// Aggregation selects how per-subspace scores combine (Sec. IV-C).
+type Aggregation int
+
+const (
+	// Average is the paper's choice: cumulative outlierness, robust to
+	// fluctuations in individual subspaces.
+	Average Aggregation = iota
+	// Max is the sensitive alternative the paper evaluates and rejects.
+	Max
+	// Product multiplies per-subspace scores (shifted by one so a zero
+	// score is neutral) — the OUTRES-style aggregation, emphasizing
+	// objects that deviate in several subspaces at once.
+	Product
+)
+
+func (a Aggregation) String() string {
+	switch a {
+	case Max:
+		return "max"
+	case Product:
+		return "product"
+	default:
+		return "average"
+	}
+}
+
+// FullSpace is the trivial searcher returning only the full data space;
+// combining it with LOFScorer yields the classical full-space LOF
+// baseline.
+type FullSpace struct{}
+
+// Search implements SubspaceSearcher.
+func (FullSpace) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
+	return []subspace.Scored{{S: subspace.Full(ds.D())}}, nil
+}
+
+// Name implements SubspaceSearcher.
+func (FullSpace) Name() string { return "LOF" }
+
+// Pipeline wires a searcher, a scorer and an aggregation into the complete
+// two-step outlier ranking.
+type Pipeline struct {
+	Searcher SubspaceSearcher
+	Scorer   Scorer
+	Agg      Aggregation
+	// MaxSubspaces caps how many of the searcher's subspaces are scored
+	// ("we use only the best 100 subspaces", Sec. V). 0 means 100, -1 all.
+	MaxSubspaces int
+}
+
+// DefaultMaxSubspaces is the paper's budget of ranked projections.
+const DefaultMaxSubspaces = 100
+
+// Result carries the final ranking and provenance.
+type Result struct {
+	// Scores is the aggregated outlier score per object.
+	Scores []float64
+	// Subspaces lists the projections that contributed.
+	Subspaces []subspace.Scored
+}
+
+// Rank runs the two-step pipeline on ds.
+func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
+	if p.Searcher == nil || p.Scorer == nil {
+		return nil, errors.New("ranking: pipeline needs a Searcher and a Scorer")
+	}
+	subspaces, err := p.Searcher.Search(ds)
+	if err != nil {
+		return nil, fmt.Errorf("ranking: subspace search (%s): %w", p.Searcher.Name(), err)
+	}
+	limit := p.MaxSubspaces
+	if limit == 0 {
+		limit = DefaultMaxSubspaces
+	}
+	if limit > 0 && len(subspaces) > limit {
+		subspaces = subspaces[:limit]
+	}
+	if len(subspaces) == 0 {
+		return nil, fmt.Errorf("ranking: searcher %s selected no subspaces", p.Searcher.Name())
+	}
+
+	n := ds.N()
+	agg := make([]float64, n)
+	switch p.Agg {
+	case Max:
+		for i := range agg {
+			agg[i] = -1
+		}
+	case Product:
+		for i := range agg {
+			agg[i] = 1
+		}
+	}
+	for _, sc := range subspaces {
+		scores, err := p.Scorer.Score(ds, sc.S)
+		if err != nil {
+			return nil, fmt.Errorf("ranking: scoring %v with %s: %w", sc.S, p.Scorer.Name(), err)
+		}
+		switch p.Agg {
+		case Max:
+			for i, v := range scores {
+				if v > agg[i] {
+					agg[i] = v
+				}
+			}
+		case Product:
+			for i, v := range scores {
+				agg[i] *= 1 + v
+			}
+		default:
+			for i, v := range scores {
+				agg[i] += v
+			}
+		}
+	}
+	if p.Agg == Average {
+		inv := 1 / float64(len(subspaces))
+		for i := range agg {
+			agg[i] *= inv
+		}
+	}
+	return &Result{Scores: agg, Subspaces: subspaces}, nil
+}
+
+// Name identifies the pipeline in reports, e.g. "HiCS+LOF".
+func (p Pipeline) Name() string {
+	if _, ok := p.Searcher.(FullSpace); ok {
+		return p.Scorer.Name()
+	}
+	return p.Searcher.Name() + "+" + p.Scorer.Name()
+}
+
+// PCAPipeline is the dimensionality-reduction competitor: project the data
+// onto the first k principal components, then run a full-space scorer on
+// the projection. It does not fit the two-step interface because PCA
+// transforms objects instead of selecting attribute subsets — the paper's
+// argument for why it is not a subspace search method.
+type PCAPipeline struct {
+	// Components determines k from the data dimensionality. The paper's
+	// variants: PCALOF1 uses d/2, PCALOF2 uses the constant 10.
+	Components func(d int) int
+	Scorer     Scorer
+	// Label is the report name, e.g. "PCALOF1".
+	Label string
+}
+
+// Rank projects and scores.
+func (p PCAPipeline) Rank(ds *dataset.Dataset) (*Result, error) {
+	if p.Components == nil || p.Scorer == nil {
+		return nil, errors.New("ranking: PCA pipeline needs Components and Scorer")
+	}
+	k := p.Components(ds.D())
+	if k < 1 {
+		k = 1
+	}
+	if k > ds.D() {
+		k = ds.D()
+	}
+	proj, err := pca.FitTransform(ds.Standardized(), k)
+	if err != nil {
+		return nil, fmt.Errorf("ranking: PCA: %w", err)
+	}
+	scores, err := p.Scorer.Score(proj, subspace.Full(k))
+	if err != nil {
+		return nil, fmt.Errorf("ranking: PCA scoring: %w", err)
+	}
+	return &Result{Scores: scores, Subspaces: []subspace.Scored{{S: subspace.Full(k)}}}, nil
+}
+
+// Name identifies the pipeline in reports.
+func (p PCAPipeline) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "PCA+" + p.Scorer.Name()
+}
+
+// Ranker is the common interface of Pipeline and PCAPipeline, letting the
+// experiment harness treat all competitors uniformly.
+type Ranker interface {
+	Rank(ds *dataset.Dataset) (*Result, error)
+	Name() string
+}
+
+var (
+	_ Ranker = Pipeline{}
+	_ Ranker = PCAPipeline{}
+)

@@ -1,0 +1,219 @@
+package ranking
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hics/internal/core"
+	"hics/internal/dataset"
+	"hics/internal/eval"
+	"hics/internal/randsub"
+	"hics/internal/subspace"
+	"hics/internal/synth"
+)
+
+func benchData(t *testing.T, seed uint64) *synth.Benchmark {
+	t.Helper()
+	b, err := synth.Generate(synth.Config{N: 400, D: 8, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFullSpaceLOFPipeline(t *testing.T) {
+	b := benchData(t, 1)
+	p := Pipeline{Searcher: FullSpace{}, Scorer: LOFScorer{MinPts: 10}}
+	res, err := p.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != b.Data.Data.N() {
+		t.Fatalf("score count %d", len(res.Scores))
+	}
+	if len(res.Subspaces) != 1 || res.Subspaces[0].S.Dim() != b.Data.Data.D() {
+		t.Errorf("full space pipeline used %v", res.Subspaces)
+	}
+	if p.Name() != "LOF" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestHiCSPipelineBeatsFullSpaceOnPlantedData(t *testing.T) {
+	// Higher-dimensional noise hurts full-space LOF; HiCS should find the
+	// planted 2-3-d groups and beat it.
+	b, err := synth.Generate(synth.Config{N: 500, D: 20, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := b.Data.Data
+
+	hics := Pipeline{
+		Searcher: &core.Searcher{Params: core.Params{M: 50, Seed: 1, TopK: 40}},
+		Scorer:   LOFScorer{MinPts: 10},
+	}
+	full := Pipeline{Searcher: FullSpace{}, Scorer: LOFScorer{MinPts: 10}}
+
+	rh, err := hics.Rank(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := full.Rank(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aucH, err := eval.AUC(rh.Scores, b.Data.Outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aucF, err := eval.AUC(rf.Scores, b.Data.Outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aucH <= aucF {
+		t.Errorf("HiCS AUC %.3f not above full-space AUC %.3f", aucH, aucF)
+	}
+	if aucH < 0.8 {
+		t.Errorf("HiCS AUC %.3f unexpectedly low on planted data", aucH)
+	}
+	if hics.Name() != "HiCS+LOF" {
+		t.Errorf("Name = %q", hics.Name())
+	}
+}
+
+func TestMaxSubspacesCap(t *testing.T) {
+	b := benchData(t, 2)
+	p := Pipeline{
+		Searcher:     &randsub.Searcher{Params: randsub.Params{Count: 30, Seed: 1}},
+		Scorer:       KNNScorer{K: 5},
+		MaxSubspaces: 4,
+	}
+	res, err := p.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subspaces) != 4 {
+		t.Errorf("cap ignored: %d subspaces scored", len(res.Subspaces))
+	}
+}
+
+func TestAggregationAverageVsMax(t *testing.T) {
+	b := benchData(t, 3)
+	searcher := &randsub.Searcher{Params: randsub.Params{Count: 10, MinDim: 2, MaxDim: 3, Seed: 2}}
+	avg := Pipeline{Searcher: searcher, Scorer: LOFScorer{}, Agg: Average}
+	max := Pipeline{Searcher: searcher, Scorer: LOFScorer{}, Agg: Max}
+	ra, err := avg.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := max.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max aggregation dominates average pointwise.
+	for i := range ra.Scores {
+		if rm.Scores[i] < ra.Scores[i]-1e-9 {
+			t.Fatalf("max < average at %d: %v vs %v", i, rm.Scores[i], ra.Scores[i])
+		}
+	}
+	if Average.String() != "average" || Max.String() != "max" {
+		t.Error("Aggregation names wrong")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	b := benchData(t, 4)
+	if _, err := (Pipeline{}).Rank(b.Data.Data); err == nil {
+		t.Error("missing components should fail")
+	}
+	empty := Pipeline{Searcher: emptySearcher{}, Scorer: LOFScorer{}}
+	if _, err := empty.Rank(b.Data.Data); err == nil {
+		t.Error("empty subspace list should fail")
+	}
+	failing := Pipeline{Searcher: failingSearcher{}, Scorer: LOFScorer{}}
+	if _, err := failing.Rank(b.Data.Data); err == nil {
+		t.Error("searcher error should propagate")
+	}
+}
+
+type emptySearcher struct{}
+
+func (emptySearcher) Search(*dataset.Dataset) ([]subspace.Scored, error) { return nil, nil }
+func (emptySearcher) Name() string                                       { return "empty" }
+
+type failingSearcher struct{}
+
+func (failingSearcher) Search(*dataset.Dataset) ([]subspace.Scored, error) {
+	return nil, errors.New("boom")
+}
+func (failingSearcher) Name() string { return "failing" }
+
+func TestPCAPipeline(t *testing.T) {
+	b := benchData(t, 5)
+	p := PCAPipeline{
+		Components: func(d int) int { return d / 2 },
+		Scorer:     LOFScorer{MinPts: 10},
+		Label:      "PCALOF1",
+	}
+	res, err := p.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != b.Data.Data.N() {
+		t.Fatalf("score count %d", len(res.Scores))
+	}
+	if res.Subspaces[0].S.Dim() != b.Data.Data.D()/2 {
+		t.Errorf("PCA projected to %d dims", res.Subspaces[0].S.Dim())
+	}
+	if p.Name() != "PCALOF1" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	unlabeled := PCAPipeline{Components: func(int) int { return 2 }, Scorer: KNNScorer{}}
+	if unlabeled.Name() != "PCA+kNN" {
+		t.Errorf("default name = %q", unlabeled.Name())
+	}
+}
+
+func TestPCAPipelineClampsComponents(t *testing.T) {
+	b := benchData(t, 6)
+	p := PCAPipeline{Components: func(d int) int { return d + 10 }, Scorer: KNNScorer{K: 5}}
+	res, err := p.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subspaces[0].S.Dim() != b.Data.Data.D() {
+		t.Errorf("clamp failed: %d", res.Subspaces[0].S.Dim())
+	}
+	zero := PCAPipeline{Components: func(int) int { return 0 }, Scorer: KNNScorer{K: 5}}
+	if _, err := zero.Rank(b.Data.Data); err != nil {
+		t.Errorf("k clamped to 1 should work: %v", err)
+	}
+}
+
+func TestPCAPipelineErrors(t *testing.T) {
+	b := benchData(t, 7)
+	if _, err := (PCAPipeline{}).Rank(b.Data.Data); err == nil {
+		t.Error("missing components should fail")
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	if (LOFScorer{}).Name() != "LOF" || (KNNScorer{}).Name() != "kNN" {
+		t.Error("scorer names wrong")
+	}
+}
+
+func TestScoresFiniteOrInf(t *testing.T) {
+	b := benchData(t, 8)
+	p := Pipeline{Searcher: FullSpace{}, Scorer: LOFScorer{MinPts: 5}}
+	res, err := p.Rank(b.Data.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Scores {
+		if math.IsNaN(s) {
+			t.Fatalf("NaN score at %d", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatSorted returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_A(x) − F_B(x)| for samples that are already sorted in
+// ascending order. It runs in O(len(a)+len(b)).
+//
+// This is the HiCS_KS deviation function (paper Eq. 11): it already lies in
+// [0, 1] and needs no further normalization.
+func KSStatSorted(a, b []float64) float64 {
+	na, nb := len(a), len(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	var (
+		i, j int
+		d    float64
+	)
+	for i < na && j < nb {
+		v := math.Min(a[i], b[j])
+		for i < na && a[i] <= v {
+			i++
+		}
+		for j < nb && b[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSStat returns the two-sample KS statistic for unsorted samples.
+// The inputs are not modified.
+func KSStat(a, b []float64) float64 {
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	return KSStatSorted(sa, sb)
+}
+
+// KSResult holds a two-sample Kolmogorov–Smirnov test outcome.
+type KSResult struct {
+	D float64 // sup-distance between the two empirical CDFs
+	P float64 // asymptotic two-sided p-value (Stephens 1970 approximation)
+}
+
+// KSTest runs the two-sample KS test and attaches the asymptotic p-value.
+// The p-value is not needed by the HiCS contrast (which uses D directly)
+// but is exposed for library users who want a significance level.
+func KSTest(a, b []float64) KSResult {
+	d := KSStat(a, b)
+	na, nb := float64(len(a)), float64(len(b))
+	if na == 0 || nb == 0 {
+		return KSResult{D: d, P: 1}
+	}
+	ne := na * nb / (na + nb)
+	// Effective statistic with the small-sample correction of
+	// Stephens (1970), then the Kolmogorov asymptotic series.
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: kolmogorovQ(lambda)}
+}
+
+// kolmogorovQ evaluates the Kolmogorov distribution tail
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²).
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const maxTerms = 100
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= maxTerms; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum)+1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// ECDF is an empirical cumulative distribution function built from a sample
+// (paper Eq. 10).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied and sorted.
+func NewECDF(xs []float64) *ECDF {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return &ECDF{sorted: cp}
+}
+
+// At returns F(x) = (#observations < x) / n, matching the strict inequality
+// of paper Eq. 10. It returns 0 for an empty sample.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x, which is
+	// exactly the count of observations strictly less than x.
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Len returns the number of observations behind the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/rng"
+)
+
+func TestKSIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := KSStat(a, a); d != 0 {
+		t.Errorf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStat(a, b); d != 1 {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// Hand-computable example:
+	// a = {1,2,3,4}, b = {3,4,5,6}. At x slightly above 2:
+	// F_a = 0.5, F_b = 0 → D = 0.5.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	if d := KSStat(a, b); !almostEq(d, 0.5, 1e-12) {
+		t.Errorf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSUnevenSizes(t *testing.T) {
+	a := []float64{0, 1}
+	b := []float64{0.4, 0.5, 0.6, 0.7}
+	// After 0.7: F_a = 0.5, F_b = 1 → D = 0.5.
+	if d := KSStat(a, b); !almostEq(d, 0.5, 1e-12) {
+		t.Errorf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if d := KSStat(nil, []float64{1, 2}); d != 0 {
+		t.Errorf("KS with empty sample = %v, want 0", d)
+	}
+}
+
+func TestKSWithTies(t *testing.T) {
+	a := []float64{1, 1, 1, 2}
+	b := []float64{1, 2, 2, 2}
+	// After 1: F_a = 0.75, F_b = 0.25 → D = 0.5.
+	if d := KSStat(a, b); !almostEq(d, 0.5, 1e-12) {
+		t.Errorf("KS with ties = %v, want 0.5", d)
+	}
+}
+
+func TestKSSortedMatchesUnsorted(t *testing.T) {
+	r := rng.New(5)
+	a := make([]float64, 31)
+	b := make([]float64, 17)
+	for i := range a {
+		a[i] = r.Normal()
+	}
+	for i := range b {
+		b[i] = r.Normal()
+	}
+	want := KSStat(a, b)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	if got := KSStatSorted(a, b); !almostEq(got, want, 1e-12) {
+		t.Errorf("sorted path %v != unsorted path %v", got, want)
+	}
+}
+
+func TestKSTestPValue(t *testing.T) {
+	r := rng.New(6)
+	// Same distribution: p should usually be large.
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = r.Normal()
+		b[i] = r.Normal()
+	}
+	res := KSTest(a, b)
+	if res.P < 0.01 {
+		t.Errorf("H0 KS p-value = %v, suspiciously small", res.P)
+	}
+	// Shifted distribution: p should be tiny.
+	for i := range b {
+		b[i] = r.Normal() + 1
+	}
+	res = KSTest(a, b)
+	if res.P > 1e-6 {
+		t.Errorf("shifted KS p-value = %v, want ~0", res.P)
+	}
+}
+
+func TestKolmogorovQEdge(t *testing.T) {
+	if q := kolmogorovQ(0); q != 1 {
+		t.Errorf("Q(0) = %v", q)
+	}
+	if q := kolmogorovQ(10); q > 1e-10 {
+		t.Errorf("Q(10) = %v, want ~0", q)
+	}
+	// Known value: Q(1.0) ≈ 0.26999967...
+	if q := kolmogorovQ(1.0); !almostEq(q, 0.27, 1e-3) {
+		t.Errorf("Q(1) = %v, want ~0.27", q)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0},
+		{1, 0}, // strict inequality: no value < 1
+		{1.5, 0.25},
+		{2, 0.25},
+		{2.5, 0.75},
+		{3.5, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if NewECDF(nil).At(1) != 0 {
+		t.Error("empty ECDF should return 0")
+	}
+}
+
+// Property: KS statistic is in [0,1], symmetric, and zero for identical samples.
+func TestQuickKSProperties(t *testing.T) {
+	f := func(seed uint64, nA, nB uint8) bool {
+		r := rng.New(seed)
+		na := int(nA%40) + 1
+		nb := int(nB%40) + 1
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		for i := range b {
+			b[i] = r.Float64()
+		}
+		d := KSStat(a, b)
+		if d < 0 || d > 1 {
+			return false
+		}
+		if !almostEq(d, KSStat(b, a), 1e-12) {
+			return false
+		}
+		return KSStat(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ECDF is monotone non-decreasing.
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		xs := make([]float64, int(n%50)+1)
+		for i := range xs {
+			xs[i] = r.Normal()
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -4.0; x <= 4.0; x += 0.25 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKSStatSorted(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 1000)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	for i := range y {
+		y[i] = r.Float64()
+	}
+	sort.Float64s(x)
+	sort.Float64s(y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KSStatSorted(x, y)
+	}
+}
+
+func BenchmarkWelchTest(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 1000)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = r.Normal()
+	}
+	for i := range y {
+		y[i] = r.Normal()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WelchTest(x, y)
+	}
+}

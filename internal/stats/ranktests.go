@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult holds a two-sample Mann–Whitney U test outcome.
+type MannWhitneyResult struct {
+	U float64 // U statistic of the first sample
+	Z float64 // normal approximation z-score (tie-corrected)
+	P float64 // two-tailed p-value under H0 "same distribution"
+}
+
+// MannWhitneyTest compares the distributions of a and b with the
+// rank-based Mann–Whitney U test, using the normal approximation with tie
+// correction — accurate for the sample sizes the HiCS contrast works with
+// (dozens and up). It extends the deviation-function family of the paper
+// (Sec. III-E) with a non-parametric location test: unlike Welch it makes
+// no normality assumption, unlike KS it targets location shifts
+// specifically.
+func MannWhitneyTest(a, b []float64) MannWhitneyResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if len(a) == 0 || len(b) == 0 {
+		return MannWhitneyResult{P: 1}
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks and tie correction term Σ(t³−t).
+	n := len(all)
+	rankSumA := 0.0
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && all[j+1].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		t := float64(j - i + 1)
+		tieTerm += t*t*t - t
+		for k := i; k <= j; k++ {
+			if all[k].fromA {
+				rankSumA += mid
+			}
+		}
+		i = j + 1
+	}
+	u := rankSumA - na*(na+1)/2
+	mean := na * nb / 2
+	nn := na + nb
+	variance := na * nb / 12 * ((nn + 1) - tieTerm/(nn*(nn-1)))
+	if variance <= 0 {
+		// All observations tied: no evidence either way.
+		return MannWhitneyResult{U: u, Z: 0, P: 1}
+	}
+	// Continuity correction.
+	z := (u - mean)
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{U: u, Z: z, P: p}
+}
+
+// MannWhitneyDeviation returns 1 − p, the HiCS-style deviation value of
+// the Mann–Whitney test.
+func MannWhitneyDeviation(a, b []float64) float64 {
+	return 1 - MannWhitneyTest(a, b).P
+}
+
+// CramerVonMisesSorted returns the two-sample Cramér–von Mises criterion
+// T for samples that are already sorted ascending, normalized to [0, 1)
+// via T/(T+1) so it can serve directly as a HiCS deviation value. Unlike
+// the KS statistic (which looks at the single largest ECDF gap), the CvM
+// criterion integrates the squared gap over the whole domain, making it
+// sensitive to distributed shape differences.
+func CramerVonMisesSorted(a, b []float64) float64 {
+	na, nb := len(a), len(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	// T = (nm/(n+m)²)·Σ_k (F_a(z_k) − F_b(z_k))², the sum running over every
+	// observation z_k of the pooled sorted sample. One merge pass; within a
+	// tie group the a-observations are consumed first, which keeps the
+	// statistic deterministic (the classical derivation assumes continuous
+	// distributions, so any consistent tie order is acceptable).
+	var (
+		i, j int
+		sum  float64
+	)
+	for i < na || j < nb {
+		if j >= nb || (i < na && a[i] <= b[j]) {
+			i++
+		} else {
+			j++
+		}
+		d := float64(i)/float64(na) - float64(j)/float64(nb)
+		sum += d * d
+	}
+	t := sum * float64(na) * float64(nb) / float64((na+nb)*(na+nb))
+	return t / (t + 1)
+}
+
+// CramerVonMises returns the normalized two-sample Cramér–von Mises
+// deviation for unsorted samples. The inputs are not modified.
+func CramerVonMises(a, b []float64) float64 {
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	return CramerVonMisesSorted(sa, sb)
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/rng"
+)
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res := MannWhitneyTest(a, a)
+	if res.Z != 0 {
+		t.Errorf("Z = %v, want 0", res.Z)
+	}
+	if !almostEq(res.P, 1, 1e-9) {
+		t.Errorf("P = %v, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyShifted(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 150)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = r.Normal()
+		b[i] = r.Normal() + 1.5
+	}
+	res := MannWhitneyTest(a, b)
+	if res.P > 1e-6 {
+		t.Errorf("shifted distributions P = %v, want ~0", res.P)
+	}
+	if MannWhitneyDeviation(a, b) < 0.999 {
+		t.Error("deviation for clear shift should be ~1")
+	}
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	r := rng.New(2)
+	// Under H0 the p-values are uniform → mean deviation ~0.5.
+	const reps = 200
+	sum := 0.0
+	for rep := 0; rep < reps; rep++ {
+		a := make([]float64, 80)
+		b := make([]float64, 80)
+		for i := range a {
+			a[i] = r.Normal()
+			b[i] = r.Normal()
+		}
+		sum += MannWhitneyDeviation(a, b)
+	}
+	mean := sum / reps
+	if mean < 0.38 || mean > 0.62 {
+		t.Errorf("mean H0 deviation = %v, want ~0.5", mean)
+	}
+}
+
+func TestMannWhitneyKnownU(t *testing.T) {
+	// Hand-computed example: a = {1, 2}, b = {3, 4}.
+	// All b beat all a: U_a = 0.
+	res := MannWhitneyTest([]float64{1, 2}, []float64{3, 4})
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+	// Reversed: U_a = n·m = 4.
+	res = MannWhitneyTest([]float64{3, 4}, []float64{1, 2})
+	if res.U != 4 {
+		t.Errorf("U = %v, want 4", res.U)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if res := MannWhitneyTest(nil, []float64{1}); res.P != 1 {
+		t.Errorf("empty sample P = %v", res.P)
+	}
+	// All values identical: zero variance, P = 1.
+	if res := MannWhitneyTest([]float64{5, 5, 5}, []float64{5, 5}); res.P != 1 {
+		t.Errorf("all-tied P = %v", res.P)
+	}
+}
+
+func TestCramerVonMisesIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := CramerVonMises(a, a); d > 0.15 {
+		t.Errorf("CvM of identical samples = %v, want small", d)
+	}
+}
+
+func TestCramerVonMisesDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+	d := CramerVonMises(a, b)
+	if d < 0.5 {
+		t.Errorf("CvM of disjoint samples = %v, want large", d)
+	}
+}
+
+func TestCramerVonMisesOrderInvariance(t *testing.T) {
+	r := rng.New(3)
+	a := make([]float64, 40)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i] = r.Normal()
+	}
+	for i := range b {
+		b[i] = r.Normal() + 0.3
+	}
+	want := CramerVonMises(a, b)
+	// Shuffle inputs; unsorted entry point must sort internally.
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	if got := CramerVonMises(a, b); !almostEq(got, want, 1e-12) {
+		t.Errorf("CvM depends on input order: %v vs %v", got, want)
+	}
+}
+
+func TestCramerVonMisesSortedMatchesUnsorted(t *testing.T) {
+	r := rng.New(4)
+	a := make([]float64, 30)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = r.Float64()
+	}
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	want := CramerVonMises(a, b)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	if got := CramerVonMisesSorted(a, b); !almostEq(got, want, 1e-12) {
+		t.Errorf("sorted path %v != unsorted %v", got, want)
+	}
+}
+
+func TestCramerVonMisesEmpty(t *testing.T) {
+	if d := CramerVonMisesSorted(nil, []float64{1}); d != 0 {
+		t.Errorf("empty CvM = %v", d)
+	}
+}
+
+func TestCramerVonMisesMoreSensitiveThanKSForShapes(t *testing.T) {
+	// Same median, different spread: a distributed shape difference.
+	r := rng.New(5)
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = r.NormalScaled(0, 1)
+		b[i] = r.NormalScaled(0, 2)
+	}
+	cvm := CramerVonMises(a, b)
+	if cvm < 0.3 {
+		t.Errorf("CvM for variance difference = %v, want clearly above noise", cvm)
+	}
+}
+
+// Property: both deviations are in [0,1] and symmetric in sample order.
+func TestQuickRankDeviationsBoundsAndSymmetry(t *testing.T) {
+	f := func(seed uint64, nA, nB uint8, shiftRaw float64) bool {
+		r := rng.New(seed)
+		na := int(nA%40) + 3
+		nb := int(nB%40) + 3
+		shift := 0.0
+		if !math.IsNaN(shiftRaw) && !math.IsInf(shiftRaw, 0) {
+			shift = math.Mod(shiftRaw, 5)
+		}
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = r.Normal()
+		}
+		for i := range b {
+			b[i] = r.Normal() + shift
+		}
+		dmw1 := MannWhitneyDeviation(a, b)
+		dmw2 := MannWhitneyDeviation(b, a)
+		if dmw1 < 0 || dmw1 > 1 || !almostEq(dmw1, dmw2, 1e-9) {
+			return false
+		}
+		dcv1 := CramerVonMises(a, b)
+		dcv2 := CramerVonMises(b, a)
+		return dcv1 >= 0 && dcv1 < 1 && almostEq(dcv1, dcv2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: larger location shifts never decrease the Mann–Whitney
+// deviation much (monotone sensitivity on average).
+func TestQuickMannWhitneyMonotoneInShift(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := make([]float64, 100)
+		base := make([]float64, 100)
+		for i := range a {
+			a[i] = r.Normal()
+			base[i] = r.Normal()
+		}
+		small := make([]float64, 100)
+		large := make([]float64, 100)
+		for i := range base {
+			small[i] = base[i] + 0.2
+			large[i] = base[i] + 2.0
+		}
+		dSmall := MannWhitneyDeviation(a, small)
+		dLarge := MannWhitneyDeviation(a, large)
+		return dLarge >= dSmall-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMannWhitney(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 1000)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = r.Normal()
+	}
+	for i := range y {
+		y[i] = r.Normal()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MannWhitneyTest(x, y)
+	}
+}
+
+func BenchmarkCramerVonMisesSorted(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 1000)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	for i := range y {
+		y[i] = r.Float64()
+	}
+	sort.Float64s(x)
+	sort.Float64s(y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CramerVonMisesSorted(x, y)
+	}
+}

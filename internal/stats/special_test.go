@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaReference(t *testing.T) {
+	// Reference values computed with scipy.special.betainc.
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{0.5, 0.5, 0.5, 0.5},
+		{1, 1, 0.3, 0.3}, // Beta(1,1) is uniform
+		{2, 2, 0.5, 0.5}, // symmetric
+		{2, 3, 0.4, 0.5248},
+		{5, 1, 0.8, math.Pow(0.8, 5)}, // I_x(a,1) = x^a
+		{1, 5, 0.2, 1 - math.Pow(0.8, 5)},
+		{10, 10, 0.5, 0.5},
+		{0.5, 2.5, 0.1, 0.5104102554}, // verified by direct numeric integration
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if !almostEq(got, c.want, 1e-4) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	if !math.IsNaN(RegIncBeta(-1, 2, 0.5)) {
+		t.Error("negative a should yield NaN")
+	}
+	if !math.IsNaN(RegIncBeta(1, 2, math.NaN())) {
+		t.Error("NaN x should yield NaN")
+	}
+}
+
+func TestStudentTCDFReference(t *testing.T) {
+	// Reference values from scipy.stats.t.cdf.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1, 1, 0.75}, // t(1) is Cauchy: CDF(1) = 3/4
+		{-1, 1, 0.25},
+		{2.0, 10, 0.963306},
+		{1.812, 10, 0.949949}, // ~95th percentile of t(10)
+		{2.228, 10, 0.974998},
+		{-2.228, 10, 0.025002},
+		{1.96, 1e6, 0.975002}, // huge df ≈ normal
+		{1.5, 2.5, 0.87608},   // verified by direct numeric integration
+	}
+	for _, c := range cases {
+		got := StudentTCDF(c.t, c.df)
+		if !almostEq(got, c.want, 1e-3) {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTCDFEdges(t *testing.T) {
+	if got := StudentTCDF(math.Inf(1), 3); got != 1 {
+		t.Errorf("CDF(+inf) = %v", got)
+	}
+	if got := StudentTCDF(math.Inf(-1), 3); got != 0 {
+		t.Errorf("CDF(-inf) = %v", got)
+	}
+	if !math.IsNaN(StudentTCDF(1, 0)) {
+		t.Error("df=0 should yield NaN")
+	}
+	if !math.IsNaN(StudentTCDF(1, -2)) {
+		t.Error("negative df should yield NaN")
+	}
+}
+
+func TestStudentTTwoTailedP(t *testing.T) {
+	// Two-tailed p at the 97.5% quantile should be ~0.05.
+	p := StudentTTwoTailedP(2.228, 10)
+	if !almostEq(p, 0.05, 2e-3) {
+		t.Errorf("two-tailed p = %v, want ~0.05", p)
+	}
+	// Symmetry in t.
+	if p1, p2 := StudentTTwoTailedP(1.3, 7), StudentTTwoTailedP(-1.3, 7); !almostEq(p1, p2, 1e-12) {
+		t.Errorf("two-tailed p asymmetric: %v vs %v", p1, p2)
+	}
+	if got := StudentTTwoTailedP(0, 5); !almostEq(got, 1, 1e-12) {
+		t.Errorf("p at t=0 is %v, want 1", got)
+	}
+	if got := StudentTTwoTailedP(math.Inf(1), 5); got != 0 {
+		t.Errorf("p at t=inf is %v, want 0", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+		{3, 0.998650},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEq(got, c.want, 1e-5) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: RegIncBeta is a CDF — bounded in [0,1] and monotone in x.
+func TestQuickRegIncBetaCDF(t *testing.T) {
+	f := func(aRaw, bRaw, x1Raw, x2Raw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 20)
+		b := 0.1 + math.Mod(math.Abs(bRaw), 20)
+		x1 := math.Mod(math.Abs(x1Raw), 1)
+		x2 := math.Mod(math.Abs(x2Raw), 1)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		v1 := RegIncBeta(a, b, x1)
+		v2 := RegIncBeta(a, b, x2)
+		if v1 < -1e-12 || v1 > 1+1e-12 || v2 < -1e-12 || v2 > 1+1e-12 {
+			return false
+		}
+		return v1 <= v2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StudentTCDF is monotone in t and symmetric about 0.
+func TestQuickStudentTProperties(t *testing.T) {
+	f := func(tRaw, dfRaw float64) bool {
+		tv := math.Mod(tRaw, 50)
+		if math.IsNaN(tv) {
+			return true
+		}
+		df := 0.5 + math.Mod(math.Abs(dfRaw), 100)
+		c := StudentTCDF(tv, df)
+		cNeg := StudentTCDF(-tv, df)
+		if c < 0 || c > 1 {
+			return false
+		}
+		if math.Abs(c+cNeg-1) > 1e-9 {
+			return false
+		}
+		return StudentTCDF(tv+0.5, df) >= c-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

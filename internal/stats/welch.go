@@ -1,0 +1,55 @@
+package stats
+
+import "math"
+
+// WelchResult holds the outcome of a Welch unequal-variance two-sample
+// t-test (paper Eq. 9 and the Welch–Satterthwaite equation).
+type WelchResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom (fractional)
+	P  float64 // two-tailed p-value under H0 "same mean"
+}
+
+// WelchTest compares the means of samples a and b without assuming equal
+// variances. It degrades gracefully on degenerate input: if either sample
+// has fewer than two observations, or both variances are zero, the result
+// carries NaN statistics and P = 1 (no evidence of deviation), which is the
+// conservative choice for a contrast measure.
+func WelchTest(a, b []float64) WelchResult {
+	meanA, varA := MeanVar(a)
+	meanB, varB := MeanVar(b)
+	return WelchTestMoments(meanA, varA, float64(len(a)), meanB, varB, float64(len(b)))
+}
+
+// WelchTestMoments performs the Welch test from precomputed sample moments.
+// This is the entry point used by the HiCS hot loop, where the marginal
+// sample's moments are computed once per attribute and reused across all
+// Monte Carlo iterations.
+func WelchTestMoments(meanA, varA, nA, meanB, varB, nB float64) WelchResult {
+	if nA < 2 || nB < 2 || math.IsNaN(varA) || math.IsNaN(varB) {
+		return WelchResult{T: math.NaN(), DF: math.NaN(), P: 1}
+	}
+	sa := varA / nA
+	sb := varB / nB
+	denom := sa + sb
+	if denom == 0 {
+		// Both samples are constant. Equal constants: no deviation.
+		// Different constants: maximal deviation.
+		if meanA == meanB {
+			return WelchResult{T: 0, DF: nA + nB - 2, P: 1}
+		}
+		return WelchResult{T: math.Inf(1), DF: nA + nB - 2, P: 0}
+	}
+	t := (meanA - meanB) / math.Sqrt(denom)
+	// Welch–Satterthwaite degrees of freedom.
+	df := denom * denom / (sa*sa/(nA-1) + sb*sb/(nB-1))
+	p := StudentTTwoTailedP(t, df)
+	return WelchResult{T: t, DF: df, P: p}
+}
+
+// WelchDeviation returns the HiCS_WT deviation value 1 − p for the two
+// samples: 0 means the conditional sample is statistically indistinguishable
+// from the marginal, values near 1 mean strong dependence.
+func WelchDeviation(a, b []float64) float64 {
+	return 1 - WelchTest(a, b).P
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/rng"
+)
+
+func TestWelchIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res := WelchTest(a, a)
+	if res.T != 0 {
+		t.Errorf("T = %v, want 0", res.T)
+	}
+	if !almostEq(res.P, 1, 1e-12) {
+		t.Errorf("P = %v, want 1", res.P)
+	}
+	if WelchDeviation(a, a) != 0 {
+		t.Error("deviation of identical samples should be 0")
+	}
+}
+
+func TestWelchKnownValue(t *testing.T) {
+	// Classic Welch example (e.g. Wikipedia "Welch's t-test", example 1):
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.3}
+	res := WelchTest(a, b)
+	// Hand-verified: t = -2.8472, Welch–Satterthwaite df = 27.885.
+	if !almostEq(res.T, -2.8472, 0.001) {
+		t.Errorf("T = %v, want ~-2.8472", res.T)
+	}
+	if !almostEq(res.DF, 27.885, 0.01) {
+		t.Errorf("DF = %v, want ~27.885", res.DF)
+	}
+	if !almostEq(res.P, 0.00819, 0.0005) {
+		t.Errorf("P = %v, want ~0.00819", res.P)
+	}
+}
+
+func TestWelchClearlyDifferentMeans(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = r.NormalScaled(0, 1)
+		b[i] = r.NormalScaled(3, 1)
+	}
+	dev := WelchDeviation(a, b)
+	if dev < 0.999 {
+		t.Errorf("deviation for 3-sigma mean shift = %v, want ~1", dev)
+	}
+}
+
+func TestWelchSameDistribution(t *testing.T) {
+	r := rng.New(2)
+	// Average deviation over many repetitions should be ~0.5 under H0
+	// (p-values are uniform when H0 holds).
+	const reps = 200
+	sum := 0.0
+	for rep := 0; rep < reps; rep++ {
+		a := make([]float64, 100)
+		b := make([]float64, 100)
+		for i := range a {
+			a[i] = r.Normal()
+			b[i] = r.Normal()
+		}
+		sum += WelchDeviation(a, b)
+	}
+	mean := sum / reps
+	if mean < 0.4 || mean > 0.6 {
+		t.Errorf("mean H0 deviation = %v, want ~0.5", mean)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	res := WelchTest([]float64{1}, []float64{1, 2, 3})
+	if res.P != 1 {
+		t.Errorf("tiny sample should give P=1, got %v", res.P)
+	}
+	res = WelchTest(nil, []float64{1, 2})
+	if res.P != 1 {
+		t.Errorf("empty sample should give P=1, got %v", res.P)
+	}
+	// Both constant and equal.
+	res = WelchTest([]float64{2, 2, 2}, []float64{2, 2})
+	if res.P != 1 {
+		t.Errorf("equal constants should give P=1, got %v", res.P)
+	}
+	// Both constant, different values: maximal evidence.
+	res = WelchTest([]float64{2, 2, 2}, []float64{5, 5, 5})
+	if res.P != 0 {
+		t.Errorf("different constants should give P=0, got %v", res.P)
+	}
+}
+
+func TestWelchMomentsMatchesSlices(t *testing.T) {
+	a := []float64{1.5, 2.5, 3.5, 9, 0.5}
+	b := []float64{2, 4, 6, 8}
+	r1 := WelchTest(a, b)
+	ma, va := MeanVar(a)
+	mb, vb := MeanVar(b)
+	r2 := WelchTestMoments(ma, va, float64(len(a)), mb, vb, float64(len(b)))
+	if r1.T != r2.T || r1.DF != r2.DF || r1.P != r2.P {
+		t.Errorf("moment path differs: %+v vs %+v", r1, r2)
+	}
+}
+
+// Property: deviation is within [0,1] and antisymmetric in sample order.
+func TestQuickWelchDeviationBounds(t *testing.T) {
+	f := func(seed uint64, nA, nB uint8, shift float64) bool {
+		r := rng.New(seed)
+		na := int(nA%50) + 2
+		nb := int(nB%50) + 2
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 0
+		}
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = r.Normal()
+		}
+		for i := range b {
+			b[i] = r.Normal() + math.Mod(shift, 10)
+		}
+		d1 := WelchDeviation(a, b)
+		d2 := WelchDeviation(b, a)
+		if d1 < 0 || d1 > 1 {
+			return false
+		}
+		return almostEq(d1, d2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

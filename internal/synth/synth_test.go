@@ -1,0 +1,264 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/core"
+	"hics/internal/stats"
+	"hics/internal/subspace"
+)
+
+func TestGenerateShape(t *testing.T) {
+	b, err := Generate(Config{N: 500, D: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Data.Data.N() != 500 || b.Data.Data.D() != 20 {
+		t.Fatalf("shape %dx%d", b.Data.Data.N(), b.Data.Data.D())
+	}
+	if len(b.Data.Outlier) != 500 {
+		t.Fatal("label length mismatch")
+	}
+	if b.Data.NumOutliers() == 0 {
+		t.Fatal("no outliers planted")
+	}
+}
+
+func TestGenerateGroupsPartition(t *testing.T) {
+	b, err := Generate(Config{N: 300, D: 23, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 23)
+	for _, g := range b.Subspaces {
+		if g.Dim() < 2 || g.Dim() > 6 { // 5 + possible folded remainder
+			t.Errorf("group %v has unexpected size", g)
+		}
+		for _, d := range g {
+			if seen[d] {
+				t.Errorf("attribute %d in two groups", d)
+			}
+			seen[d] = true
+		}
+	}
+	for d, s := range seen {
+		if !s {
+			t.Errorf("attribute %d not covered by any group", d)
+		}
+	}
+}
+
+func TestGenerateValuesInUnitRange(t *testing.T) {
+	b, err := Generate(Config{N: 400, D: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := b.Data.Data
+	for d := 0; d < ds.D(); d++ {
+		lo, hi := stats.MinMax(ds.Col(d))
+		if lo < 0 || hi > 1 {
+			t.Errorf("attribute %d range [%v,%v] outside [0,1]", d, lo, hi)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{N: 200, D: 10, Seed: 7})
+	b, _ := Generate(Config{N: 200, D: 10, Seed: 7})
+	for d := 0; d < 10; d++ {
+		ca, cb := a.Data.Data.Col(d), b.Data.Data.Col(d)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c, _ := Generate(Config{N: 200, D: 10, Seed: 8})
+	diff := false
+	for i := 0; i < 200 && !diff; i++ {
+		if a.Data.Data.Value(i, 0) != c.Data.Data.Value(i, 0) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// Non-triviality: outliers must not stand out in one-dimensional
+// projections. We check that every outlier's attribute values stay inside
+// the central 99% value range of the regular objects.
+func TestGenerateOutliersHiddenInMarginals(t *testing.T) {
+	b, err := Generate(Config{N: 1000, D: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := b.Data.Data
+	for d := 0; d < ds.D(); d++ {
+		var inliers []float64
+		for i := 0; i < ds.N(); i++ {
+			if !b.Data.Outlier[i] {
+				inliers = append(inliers, ds.Value(i, d))
+			}
+		}
+		lo := stats.Quantile(inliers, 0.005)
+		hi := stats.Quantile(inliers, 0.995)
+		for i := 0; i < ds.N(); i++ {
+			if b.Data.Outlier[i] {
+				v := ds.Value(i, d)
+				if v < lo-0.05 || v > hi+0.05 {
+					t.Errorf("outlier %d attribute %d value %v escapes the marginal range [%v,%v]",
+						i, d, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// The planted groups must carry detectably higher contrast than random
+// attribute pairs spanning two groups.
+func TestGenerateGroupsHaveContrast(t *testing.T) {
+	b, err := Generate(Config{N: 800, D: 10, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := b.Data.Data
+	p := core.Params{M: 100, Seed: 1}
+	var planted, crossing float64
+	var nPlanted, nCrossing int
+	for _, g := range b.Subspaces {
+		c, err := core.ContrastOf(ds, subspace.New(g[0], g[1]), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planted += c
+		nPlanted++
+	}
+	if len(b.Subspaces) >= 2 {
+		g0, g1 := b.Subspaces[0], b.Subspaces[1]
+		c, err := core.ContrastOf(ds, subspace.New(g0[0], g1[0]), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossing += c
+		nCrossing++
+	}
+	if nCrossing > 0 && planted/float64(nPlanted) <= crossing/float64(nCrossing) {
+		t.Errorf("planted contrast %v not above crossing contrast %v",
+			planted/float64(nPlanted), crossing/float64(nCrossing))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: 100, D: 1, MinSubspaceDim: 1, MaxSubspaceDim: 1}); err == nil {
+		t.Error("D=1 should fail")
+	}
+	if _, err := Generate(Config{N: 10, D: 10, OutliersPerSubspace: 5}); err == nil {
+		t.Error("tiny N should fail")
+	}
+}
+
+func TestTwoDemoProperties(t *testing.T) {
+	demo := TwoDemo(400, 1)
+	// Shapes.
+	if demo.A.Data.N() != 402 || demo.B.Data.N() != 402 {
+		t.Fatal("demo size wrong")
+	}
+	// o1 is an outlier in both; o2 only in B.
+	if !demo.A.Outlier[demo.TrivialIdx] || !demo.B.Outlier[demo.TrivialIdx] {
+		t.Error("o1 must be labeled in both datasets")
+	}
+	if demo.A.Outlier[demo.NonTrivialIdx] {
+		t.Error("o2 must not be an outlier in dataset A")
+	}
+	if !demo.B.Outlier[demo.NonTrivialIdx] {
+		t.Error("o2 must be an outlier in dataset B")
+	}
+	// B has clearly higher contrast than A.
+	p := core.Params{M: 100, Seed: 2}
+	cA, err := core.ContrastOf(demo.A.Data, subspace.New(0, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := core.ContrastOf(demo.B.Data, subspace.New(0, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cB <= cA+0.1 {
+		t.Errorf("contrast B (%v) not clearly above A (%v)", cB, cA)
+	}
+}
+
+func TestTwoDemoMinimumSize(t *testing.T) {
+	demo := TwoDemo(1, 1) // clamped to 10
+	if demo.A.Data.N() != 12 {
+		t.Errorf("minimum demo size = %d", demo.A.Data.N())
+	}
+}
+
+func TestXORBoxProjectionsUniform(t *testing.T) {
+	ds := XORBox(4000, 3)
+	// Two-dimensional projections are uniform: grid-cell counts of a 2x2
+	// grid should be balanced.
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, pr := range pairs {
+		var counts [4]int
+		for i := 0; i < ds.N(); i++ {
+			cx, cy := 0, 0
+			if ds.Value(i, pr[0]) >= 0.5 {
+				cx = 1
+			}
+			if ds.Value(i, pr[1]) >= 0.5 {
+				cy = 1
+			}
+			counts[2*cx+cy]++
+		}
+		want := float64(ds.N()) / 4
+		for q, c := range counts {
+			if math.Abs(float64(c)-want) > 0.15*want {
+				t.Errorf("projection %v quadrant %d count %d deviates from uniform %v", pr, q, c, want)
+			}
+		}
+	}
+	// The 3-d space occupies only even-parity octants.
+	for i := 0; i < ds.N(); i++ {
+		parity := 0
+		for d := 0; d < 3; d++ {
+			if ds.Value(i, d) >= 0.5 {
+				parity++
+			}
+		}
+		if parity%2 != 0 {
+			t.Fatalf("object %d lies in an odd-parity octant", i)
+		}
+	}
+}
+
+// Property: generation succeeds and labels/groups stay consistent for
+// arbitrary reasonable configurations.
+func TestQuickGenerateConsistent(t *testing.T) {
+	f := func(seed uint64, dRaw, nRaw uint8) bool {
+		d := int(dRaw%30) + 2
+		n := int(nRaw)%500 + 100
+		b, err := Generate(Config{N: n, D: d, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if b.Data.Data.N() != n || b.Data.Data.D() != d || len(b.Data.Outlier) != n {
+			return false
+		}
+		covered := 0
+		for _, g := range b.Subspaces {
+			covered += g.Dim()
+			if g.Validate(d) != nil {
+				return false
+			}
+		}
+		return covered == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"hics/internal/dataset"
+	"hics/internal/rng"
+)
+
+// TwoDemoResult bundles the Fig. 2 illustration datasets: A (uncorrelated)
+// and B (correlated) share identical marginal distributions; both contain
+// the trivial outlier o1, and only B contains the non-trivial outlier o2.
+type TwoDemoResult struct {
+	A, B *dataset.Labeled
+	// TrivialIdx and NonTrivialIdx are the object indices of o1 and o2
+	// (o2 is an inlier position in A).
+	TrivialIdx, NonTrivialIdx int
+}
+
+// TwoDemo reproduces the two-dimensional toy example of the paper's
+// Fig. 2 with n regular objects. The marginal distribution of both
+// attributes is a balanced two-component Gaussian mixture at 0.3 and 0.7:
+//
+//   - Dataset A samples the attributes independently — the plane fills
+//     with all four mixture combinations and the only outlier is o1,
+//     whose s2 value (0.95) is extreme in one dimension alone.
+//   - Dataset B couples the attributes (both take the same mixture
+//     component) — only the diagonal combinations are populated, and o2
+//     at the anti-diagonal position (0.3, 0.7) becomes a non-trivial
+//     outlier: dense in each marginal, empty jointly.
+func TwoDemo(n int, seed uint64) *TwoDemoResult {
+	if n < 10 {
+		n = 10
+	}
+	r := rng.New(seed)
+	const (
+		lo, hi = 0.3, 0.7
+		sd     = 0.05
+	)
+	total := n + 2
+	mk := func(correlated bool) *dataset.Labeled {
+		x := make([]float64, total)
+		y := make([]float64, total)
+		labels := make([]bool, total)
+		for i := 0; i < n; i++ {
+			cx := lo
+			if r.Float64() < 0.5 {
+				cx = hi
+			}
+			cy := cx
+			if !correlated {
+				cy = lo
+				if r.Float64() < 0.5 {
+					cy = hi
+				}
+			}
+			x[i] = clamp01(r.NormalScaled(cx, sd))
+			y[i] = clamp01(r.NormalScaled(cy, sd))
+		}
+		// o1: trivial outlier — extreme in s2 only.
+		x[n] = clamp01(r.NormalScaled(0.5, sd))
+		y[n] = 0.95
+		labels[n] = true
+		// o2: anti-diagonal combination. In B this region is empty
+		// (non-trivial outlier); in A it is a regular combination.
+		x[n+1] = clamp01(r.NormalScaled(lo, sd/2))
+		y[n+1] = clamp01(r.NormalScaled(hi, sd/2))
+		labels[n+1] = correlated
+		return &dataset.Labeled{
+			Data:    dataset.MustNew([]string{"s1", "s2"}, [][]float64{x, y}),
+			Outlier: labels,
+		}
+	}
+	return &TwoDemoResult{
+		A:             mk(false),
+		B:             mk(true),
+		TrivialIdx:    n,
+		NonTrivialIdx: n + 1,
+	}
+}
+
+// XORBox reproduces the counterexample of the paper's Fig. 3: a
+// three-dimensional dataset built from four equal-density box clusters
+// placed on the even-parity corners of the unit cube. Every
+// two-dimensional projection is uniformly filled (no correlation visible),
+// while the three-dimensional joint distribution occupies only half the
+// cube — the correlation exists only in the full subspace, defeating any
+// strictly monotone bottom-up criterion.
+func XORBox(n int, seed uint64) *dataset.Dataset {
+	r := rng.New(seed)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	// Even-parity corners: (0,0,0), (0,1,1), (1,0,1), (1,1,0).
+	corners := [4][3]float64{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}}
+	for i := 0; i < n; i++ {
+		c := corners[r.Intn(4)]
+		x[i] = c[0]/2 + r.Float64()/2
+		y[i] = c[1]/2 + r.Float64()/2
+		z[i] = c[2]/2 + r.Float64()/2
+	}
+	return dataset.MustNew([]string{"x", "y", "z"}, [][]float64{x, y, z})
+}
