@@ -5,10 +5,15 @@
 package hics
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"hics/internal/dataset"
 	"hics/internal/experiments"
+	"hics/internal/lof"
+	"hics/internal/neighbors"
+	"hics/internal/rng"
 )
 
 // benchRun regenerates one experiment per iteration with a fixed seed.
@@ -88,6 +93,82 @@ func BenchmarkExtSearchers(b *testing.B) { benchRun(b, "ext-search") }
 
 // BenchmarkExtPrecision reports precision-oriented quality metrics.
 func BenchmarkExtPrecision(b *testing.B) { benchRun(b, "ext-prec") }
+
+// uniformDataset builds an n×d dataset of uniform noise for the
+// neighbor-index benchmarks.
+func uniformDataset(seed uint64, n, d int) (*dataset.Dataset, []int) {
+	r := rng.New(seed)
+	cols := make([][]float64, d)
+	dims := make([]int, d)
+	for j := range cols {
+		dims[j] = j
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = r.Float64()
+		}
+	}
+	return dataset.MustNew(nil, cols), dims
+}
+
+// benchLOF measures one full LOF scoring pass (the ranking step's unit of
+// work per subspace) with a pinned neighbor-index backend, across dataset
+// sizes and subspace dimensionalities. Compare BenchmarkLOFBrute with
+// BenchmarkLOFKDTree to see the index speedup on the Rank hot path.
+func benchLOF(b *testing.B, kind neighbors.Kind) {
+	for _, n := range []int{2000, 10000} {
+		for _, d := range []int{2, 5} {
+			b.Run(fmt.Sprintf("n=%d/d=%d", n, d), func(b *testing.B) {
+				ds, dims := uniformDataset(1, n, d)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := lof.ScoresWith(ds, dims, 10, kind); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLOFBrute scores with the O(n²) linear-scan neighbor search.
+func BenchmarkLOFBrute(b *testing.B) { benchLOF(b, neighbors.KindBrute) }
+
+// BenchmarkLOFKDTree scores with the k-d tree neighbor index.
+func BenchmarkLOFKDTree(b *testing.B) { benchLOF(b, neighbors.KindKDTree) }
+
+// benchRankIndexed measures the complete public pipeline at ranking scale
+// (n = 10000) with a pinned neighbor index; the LOF step dominates, so the
+// brute/kdtree pair exposes the end-to-end win of the index subsystem.
+func benchRankIndexed(b *testing.B, index string) {
+	const n, d = 10000, 6
+	r := rng.New(99)
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		base := r.Float64()
+		row[0] = base
+		row[1] = base + 0.05*r.Float64()
+		for j := 2; j < d; j++ {
+			row[j] = r.Float64()
+		}
+		rows[i] = row
+	}
+	opts := Options{M: 10, TopK: 3, Seed: 1, MinPts: 10, NeighborIndex: index}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rank(rows, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankBrute is the quadratic-complexity ranking step at n=10k.
+func BenchmarkRankBrute(b *testing.B) { benchRankIndexed(b, "brute") }
+
+// BenchmarkRankKDTree is the same pipeline on the k-d tree index.
+func BenchmarkRankKDTree(b *testing.B) { benchRankIndexed(b, "kdtree") }
 
 // BenchmarkRankEndToEnd measures the complete public-API pipeline on a
 // mid-size synthetic dataset — the library's end-to-end cost per call.

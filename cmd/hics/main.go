@@ -21,6 +21,7 @@ import (
 	"hics/internal/core"
 	"hics/internal/dataset"
 	"hics/internal/eval"
+	"hics/internal/neighbors"
 	"hics/internal/ranking"
 	"hics/internal/subspace"
 )
@@ -47,6 +48,7 @@ func run(args []string) error {
 		outl    = fs.Int("outliers", 10, "number of top outliers to print")
 		scorer  = fs.String("scorer", "lof", "outlier scorer: lof or knn")
 		aggName = fs.String("agg", "average", "aggregation of per-subspace scores: average or max")
+		index   = fs.String("index", "auto", "neighbor index for the ranking step: auto, kdtree or brute")
 		subOnly = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
 	)
 	fs.Usage = func() {
@@ -109,8 +111,12 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown aggregation %q (want average or max)", *aggName)
 	}
+	kind, err := neighbors.ParseKind(*index)
+	if err != nil {
+		return err
+	}
 
-	pipe := ranking.Pipeline{Searcher: searcher, Scorer: sc, Agg: agg, MaxSubspaces: -1}
+	pipe := ranking.Pipeline{Searcher: searcher, Scorer: sc, Agg: agg, MaxSubspaces: -1, Index: kind}
 	res, err := pipe.Rank(ds)
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module hics
+
+go 1.24

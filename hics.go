@@ -28,6 +28,7 @@ import (
 	"hics/internal/core"
 	"hics/internal/dataset"
 	"hics/internal/lof"
+	"hics/internal/neighbors"
 	"hics/internal/ranking"
 	"hics/internal/subspace"
 )
@@ -64,6 +65,12 @@ type Options struct {
 	// MaxDim caps the dimensionality of generated subspace candidates;
 	// 0 means unbounded.
 	MaxDim int
+	// NeighborIndex selects the neighbor-search backend of the ranking
+	// step: "auto" (default; k-d tree for large, low-dimensional
+	// projections, brute force otherwise), "kdtree", or "brute". All
+	// backends produce bit-for-bit identical scores; the choice only
+	// affects speed.
+	NeighborIndex string
 }
 
 func (o Options) coreParams() (core.Params, error) {
@@ -106,26 +113,71 @@ type Result struct {
 }
 
 // TopOutliers returns the indices of the k highest-scoring objects in
-// descending score order.
+// descending score order; tied scores break toward the lower index.
+// k ≤ 0 yields an empty slice, k beyond the object count is clamped.
+//
+// The selection is a bounded min-heap over the scores, O(n log k) — k is
+// user-facing and unbounded, so the quadratic selection scan this used to
+// be would dominate for large k.
 func (r *Result) TopOutliers(k int) []int {
-	idx := make([]int, len(r.Scores))
-	for i := range idx {
-		idx[i] = i
+	n := len(r.Scores)
+	if k > n {
+		k = n
 	}
-	// simple selection sort of the top k — k is small in practice
-	if k > len(idx) {
-		k = len(idx)
+	if k <= 0 {
+		return []int{}
 	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(idx); j++ {
-			if r.Scores[idx[j]] > r.Scores[idx[best]] {
-				best = j
-			}
+	// worse reports whether object a ranks below object b.
+	worse := func(a, b int) bool {
+		if r.Scores[a] != r.Scores[b] {
+			return r.Scores[a] < r.Scores[b]
 		}
-		idx[i], idx[best] = idx[best], idx[i]
+		return a > b
 	}
-	return idx[:k]
+	// heap[0] is the weakest of the k best seen so far.
+	heap := make([]int, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r2 := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && worse(heap[l], heap[min]) {
+				min = l
+			}
+			if r2 < len(heap) && worse(heap[r2], heap[min]) {
+				min = r2
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(heap) < k {
+			heap = append(heap, i)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(heap[c], heap[p]) {
+					break
+				}
+				heap[c], heap[p] = heap[p], heap[c]
+				c = p
+			}
+		} else if worse(heap[0], i) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	// Drain the heap weakest-first into descending rank order.
+	out := make([]int, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown(0)
+	}
+	return out
 }
 
 func toDataset(rows [][]float64) (*dataset.Dataset, error) {
@@ -182,6 +234,12 @@ func Rank(rows [][]float64, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind, err := neighbors.ParseKind(opts.NeighborIndex)
+	if err != nil {
+		return nil, err
+	}
+	// The scorers are left on their zero-value (auto) index; Pipeline.Index
+	// is the single place the resolved kind is applied.
 	var scorer ranking.Scorer = ranking.LOFScorer{MinPts: opts.MinPts}
 	if opts.UseKNNScore {
 		scorer = ranking.KNNScorer{K: opts.MinPts}
@@ -195,6 +253,7 @@ func Rank(rows [][]float64, opts Options) (*Result, error) {
 		Scorer:       scorer,
 		Agg:          agg,
 		MaxSubspaces: -1, // the searcher already applies TopK
+		Index:        kind,
 	}
 	res, err := pipe.Rank(ds)
 	if err != nil {

@@ -2,6 +2,7 @@ package hics
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"hics/internal/eval"
@@ -183,6 +184,110 @@ func TestTopOutliersOrdering(t *testing.T) {
 	}
 	if got := r.TopOutliers(100); len(got) != 4 {
 		t.Errorf("clamped TopOutliers length %d", len(got))
+	}
+}
+
+func TestTopOutliersEdgeCases(t *testing.T) {
+	r := &Result{Scores: []float64{0.2, 0.9, 0.5, 0.7}}
+	if got := r.TopOutliers(0); len(got) != 0 {
+		t.Errorf("TopOutliers(0) = %v, want empty", got)
+	}
+	if got := r.TopOutliers(-5); len(got) != 0 {
+		t.Errorf("TopOutliers(-5) = %v, want empty", got)
+	}
+	if got := r.TopOutliers(7); len(got) != 4 {
+		t.Errorf("TopOutliers beyond len = %v, want all 4", got)
+	}
+	empty := &Result{Scores: nil}
+	if got := empty.TopOutliers(3); len(got) != 0 {
+		t.Errorf("TopOutliers on empty result = %v", got)
+	}
+}
+
+func TestTopOutliersTiedScores(t *testing.T) {
+	// Ties break toward the lower object index, at every rank.
+	r := &Result{Scores: []float64{0.5, 0.9, 0.5, 0.9, 0.1, 0.5}}
+	want := []int{1, 3, 0, 2, 5, 4}
+	for k := 0; k <= len(want); k++ {
+		got := r.TopOutliers(k)
+		if len(got) != k {
+			t.Fatalf("TopOutliers(%d) returned %d indices", k, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("TopOutliers(%d) = %v, want prefix of %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestTopOutliersMatchesSort(t *testing.T) {
+	// Heap selection must agree with a full stable sort for every k.
+	r := rng.New(42)
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = math.Floor(r.Float64()*50) / 50 // many ties
+	}
+	res := &Result{Scores: scores}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	for _, k := range []int{1, 10, 250, 499, 500} {
+		got := res.TopOutliers(k)
+		for i := range got {
+			if got[i] != order[i] {
+				t.Fatalf("k=%d rank %d: heap %d, sort %d", k, i, got[i], order[i])
+			}
+		}
+	}
+}
+
+// TestRankNeighborIndexEquivalence is the acceptance contract at the
+// public-API level: pinning the KD-tree must reproduce the brute-force
+// ranking bit for bit.
+func TestRankNeighborIndexEquivalence(t *testing.T) {
+	rows := demoRows(11, 600, 5)
+	brute, err := Rank(rows, Options{M: 20, Seed: 11, NeighborIndex: "brute"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Rank(rows, Options{M: 20, Seed: 11, NeighborIndex: "kdtree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Rank(rows, Options{M: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range brute.Scores {
+		if brute.Scores[i] != tree.Scores[i] {
+			t.Fatalf("score[%d]: brute %v != kdtree %v", i, brute.Scores[i], tree.Scores[i])
+		}
+		if brute.Scores[i] != auto.Scores[i] {
+			t.Fatalf("score[%d]: brute %v != auto %v", i, brute.Scores[i], auto.Scores[i])
+		}
+	}
+	if _, err := Rank(rows, Options{M: 20, NeighborIndex: "octree"}); err == nil {
+		t.Error("invalid NeighborIndex should fail")
+	}
+}
+
+func TestRankKNNScorerIndexEquivalence(t *testing.T) {
+	rows := demoRows(12, 500, 4)
+	brute, err := Rank(rows, Options{M: 20, Seed: 12, UseKNNScore: true, NeighborIndex: "brute"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Rank(rows, Options{M: 20, Seed: 12, UseKNNScore: true, NeighborIndex: "kdtree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range brute.Scores {
+		if brute.Scores[i] != tree.Scores[i] {
+			t.Fatalf("kNN score[%d]: brute %v != kdtree %v", i, brute.Scores[i], tree.Scores[i])
+		}
 	}
 }
 

@@ -23,6 +23,9 @@ import (
 )
 
 func TestSearcherScorerMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full searcher x scorer matrix takes minutes under -race; run without -short")
+	}
 	b, err := synth.Generate(synth.Config{N: 300, D: 10, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +76,9 @@ func TestSearcherScorerMatrix(t *testing.T) {
 // The statistical instantiations must compose with the pipeline too, and
 // the informed searchers must beat the random baseline on planted data.
 func TestInstantiationsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("searcher-ordering comparison takes minutes under -race; run without -short")
+	}
 	b, err := synth.Generate(synth.Config{N: 400, D: 16, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 22})
 	if err != nil {
 		t.Fatal(err)

@@ -30,7 +30,7 @@ func AblationWTvsKS(w io.Writer, cfg Config) error {
 			p.Test = tt
 			pipe := ranking.Pipeline{
 				Searcher: &core.Searcher{Params: p},
-				Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+				Scorer:   paperLOF(cfg),
 			}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
@@ -62,7 +62,7 @@ func AblationAggregation(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			pipe := ranking.Pipeline{
 				Searcher: &core.Searcher{Params: hicsParams(cfg.Seed)},
-				Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+				Scorer:   paperLOF(cfg),
 				Agg:      agg,
 			}
 			auc, _, err := rankAUC(pipe, l)
@@ -94,7 +94,7 @@ func AblationPruning(w io.Writer, cfg Config) error {
 			p.DisablePruning = disable
 			pipe := ranking.Pipeline{
 				Searcher: &core.Searcher{Params: p},
-				Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+				Scorer:   paperLOF(cfg),
 			}
 			auc, _, err := rankAUC(pipe, l)
 			if err != nil {
@@ -123,8 +123,8 @@ func AblationScorer(w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Ablation — LOF vs kNN-distance scorer in the ranking step")
 	fmt.Fprintf(w, "%-10s %10s %12s\n", "scorer", "AUC", "runtime")
 	for _, scorer := range []ranking.Scorer{
-		ranking.LOFScorer{MinPts: cfg.minPts()},
-		ranking.KNNScorer{K: cfg.minPts()},
+		paperLOF(cfg),
+		paperKNN(cfg),
 	} {
 		var aucs, secs []float64
 		for _, l := range data {

@@ -14,6 +14,7 @@ import (
 
 	"hics/internal/core"
 	"hics/internal/enclus"
+	"hics/internal/neighbors"
 	"hics/internal/randsub"
 	"hics/internal/ranking"
 	"hics/internal/ris"
@@ -102,6 +103,20 @@ func (c Config) minPts() int {
 	return 10
 }
 
+// paperLOF is the LOF scorer of the paper's evaluation, pinned to the
+// brute-force neighbor index: the runtime figures (Fig. 5, Fig. 6, Fig. 9)
+// are calibrated against the quadratic ranking step, and letting the
+// automatic index selection swap in the k-d tree would silently change the
+// measured curves (scores are bit-identical either way).
+func paperLOF(cfg Config) ranking.LOFScorer {
+	return ranking.LOFScorer{MinPts: cfg.minPts(), Index: neighbors.KindBrute}
+}
+
+// paperKNN is the kNN-distance scorer with the same pinned backend.
+func paperKNN(cfg Config) ranking.KNNScorer {
+	return ranking.KNNScorer{K: cfg.minPts(), Index: neighbors.KindBrute}
+}
+
 // hicsParams returns the paper-default HiCS parameters with the given seed.
 func hicsParams(seed uint64) core.Params {
 	return core.Params{M: core.DefaultM, Alpha: core.DefaultAlpha, Cutoff: core.DefaultCutoff, TopK: core.DefaultTopK, Seed: seed}
@@ -111,20 +126,20 @@ func hicsParams(seed uint64) core.Params {
 func newHiCS(cfg Config, seed uint64) ranking.Pipeline {
 	return ranking.Pipeline{
 		Searcher: &core.Searcher{Params: hicsParams(seed)},
-		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+		Scorer:   paperLOF(cfg),
 	}
 }
 
 // newLOF builds the full-space LOF baseline.
 func newLOF(cfg Config) ranking.Pipeline {
-	return ranking.Pipeline{Searcher: ranking.FullSpace{}, Scorer: ranking.LOFScorer{MinPts: cfg.minPts()}}
+	return ranking.Pipeline{Searcher: ranking.FullSpace{}, Scorer: paperLOF(cfg)}
 }
 
 // newEnclus builds the Enclus+LOF competitor.
 func newEnclus(cfg Config) ranking.Pipeline {
 	return ranking.Pipeline{
 		Searcher: &enclus.Searcher{Params: enclus.Params{TopK: 100}},
-		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+		Scorer:   paperLOF(cfg),
 	}
 }
 
@@ -132,7 +147,7 @@ func newEnclus(cfg Config) ranking.Pipeline {
 func newRIS(cfg Config) ranking.Pipeline {
 	return ranking.Pipeline{
 		Searcher: &ris.Searcher{Params: ris.Params{TopK: 100}},
-		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+		Scorer:   paperLOF(cfg),
 	}
 }
 
@@ -140,7 +155,7 @@ func newRIS(cfg Config) ranking.Pipeline {
 func newRandSub(cfg Config, seed uint64) ranking.Pipeline {
 	return ranking.Pipeline{
 		Searcher: &randsub.Searcher{Params: randsub.Params{Count: 100, Seed: seed}},
-		Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+		Scorer:   paperLOF(cfg),
 	}
 }
 
@@ -148,7 +163,7 @@ func newRandSub(cfg Config, seed uint64) ranking.Pipeline {
 func newPCALOF1(cfg Config) ranking.PCAPipeline {
 	return ranking.PCAPipeline{
 		Components: func(d int) int { return (d + 1) / 2 },
-		Scorer:     ranking.LOFScorer{MinPts: cfg.minPts()},
+		Scorer:     paperLOF(cfg),
 		Label:      "PCALOF1",
 	}
 }
@@ -157,7 +172,7 @@ func newPCALOF1(cfg Config) ranking.PCAPipeline {
 func newPCALOF2(cfg Config) ranking.PCAPipeline {
 	return ranking.PCAPipeline{
 		Components: func(d int) int { return 10 },
-		Scorer:     ranking.LOFScorer{MinPts: cfg.minPts()},
+		Scorer:     paperLOF(cfg),
 		Label:      "PCALOF2",
 	}
 }

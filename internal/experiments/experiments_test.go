@@ -11,7 +11,18 @@ import (
 // quickCfg keeps the experiment smoke tests fast.
 func quickCfg() Config { return Config{Quick: true, Seed: 1} }
 
+// skipInShort gates the experiment regenerations — even in quick mode the
+// suite takes minutes, far beyond the CI budget. `go test` without -short
+// still exercises everything.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment regeneration skipped in -short mode")
+	}
+}
+
 func TestFig4And5ShareSweep(t *testing.T) {
+	skipInShort(t)
 	var buf4, buf5 bytes.Buffer
 	cfg := quickCfg()
 	if err := Fig4(&buf4, cfg); err != nil {
@@ -42,6 +53,7 @@ func TestFig4And5ShareSweep(t *testing.T) {
 }
 
 func TestFig4HiCSBeatsLOFInQuickSweep(t *testing.T) {
+	skipInShort(t)
 	cfg := quickCfg()
 	res, err := runDimsSweep(cfg)
 	if err != nil {
@@ -58,6 +70,7 @@ func TestFig4HiCSBeatsLOFInQuickSweep(t *testing.T) {
 }
 
 func TestFig6Runs(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := Fig6(&buf, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -68,6 +81,7 @@ func TestFig6Runs(t *testing.T) {
 }
 
 func TestFig7Fig8Run(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := Fig7(&buf, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -85,6 +99,7 @@ func TestFig7Fig8Run(t *testing.T) {
 }
 
 func TestFig9Runs(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := Fig9(&buf, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -96,6 +111,7 @@ func TestFig9Runs(t *testing.T) {
 }
 
 func TestFig10Runs(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := Fig10(&buf, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -107,6 +123,7 @@ func TestFig10Runs(t *testing.T) {
 }
 
 func TestFig11Runs(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := Fig11(&buf, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -120,6 +137,7 @@ func TestFig11Runs(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := AblationWTvsKS(&buf, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -169,6 +187,7 @@ func TestTprAt(t *testing.T) {
 }
 
 func TestExtensionsRun(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	if err := ExtTests(&buf, quickCfg()); err != nil {
 		t.Fatal(err)

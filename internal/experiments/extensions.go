@@ -9,6 +9,7 @@ import (
 	"hics/internal/ranking"
 	"hics/internal/surfing"
 
+	"hics/internal/neighbors"
 	"hics/internal/orca"
 	"hics/internal/outres"
 )
@@ -30,7 +31,7 @@ func ExtTests(w io.Writer, cfg Config) error {
 		searcher.Params.Test = tt
 		var aucs, secs []float64
 		for _, l := range data {
-			pipe := ranking.Pipeline{Searcher: searcher, Scorer: ranking.LOFScorer{MinPts: cfg.minPts()}}
+			pipe := ranking.Pipeline{Searcher: searcher, Scorer: paperLOF(cfg)}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
 				return err
@@ -63,9 +64,9 @@ func ExtScorers(w io.Writer, cfg Config) error {
 		agg    ranking.Aggregation
 	}
 	entries := []entry{
-		{"LOF", ranking.LOFScorer{MinPts: cfg.minPts()}, ranking.Average},
-		{"kNN-dist", ranking.KNNScorer{K: cfg.minPts()}, ranking.Average},
-		{"ORCA", orca.Scorer{K: cfg.minPts(), TopN: 50, Seed: cfg.Seed}, ranking.Average},
+		{"LOF", paperLOF(cfg), ranking.Average},
+		{"kNN-dist", paperKNN(cfg), ranking.Average},
+		{"ORCA", orca.Scorer{K: cfg.minPts(), TopN: 50, Seed: cfg.Seed, Index: neighbors.KindBrute}, ranking.Average},
 		{"OUTRES", outres.Scorer{}, ranking.Average},
 		{"OUTRES-prod", outres.Scorer{}, ranking.Product},
 	}
@@ -113,7 +114,7 @@ func ExtSearchers(w io.Writer, cfg Config) error {
 	for _, s := range searchers {
 		var aucs, secs []float64
 		for _, l := range data {
-			pipe := ranking.Pipeline{Searcher: s, Scorer: ranking.LOFScorer{MinPts: cfg.minPts()}}
+			pipe := ranking.Pipeline{Searcher: s, Scorer: paperLOF(cfg)}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
 				return err

@@ -235,7 +235,7 @@ func Fig7(w io.Writer, cfg Config) error {
 				p.Test = tt
 				pipe := ranking.Pipeline{
 					Searcher: &core.Searcher{Params: p},
-					Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+					Scorer:   paperLOF(cfg),
 				}
 				auc, _, err := rankAUC(pipe, l)
 				if err != nil {
@@ -279,7 +279,7 @@ func Fig8(w io.Writer, cfg Config) error {
 				p.Test = tt
 				pipe := ranking.Pipeline{
 					Searcher: &core.Searcher{Params: p},
-					Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+					Scorer:   paperLOF(cfg),
 				}
 				auc, _, err := rankAUC(pipe, l)
 				if err != nil {
@@ -314,7 +314,7 @@ func Fig9(w io.Writer, cfg Config) error {
 			p.Cutoff = cut
 			pipe := ranking.Pipeline{
 				Searcher: &core.Searcher{Params: p},
-				Scorer:   ranking.LOFScorer{MinPts: cfg.minPts()},
+				Scorer:   paperLOF(cfg),
 			}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {

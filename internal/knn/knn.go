@@ -1,77 +1,74 @@
 // Package knn provides exact k-nearest-neighbor queries under the Euclidean
 // metric restricted to an arbitrary subspace projection.
 //
-// The search is brute force, O(N·|S|) per query. That is a deliberate
-// choice, not a shortcut: the paper's ranking step evaluates LOF in up to
-// one hundred different low-dimensional projections, and spatial index
-// structures would have to be rebuilt per projection while degrading
-// towards linear scans in the dimensionalities involved. Brute force also
-// reproduces the quadratic LOF complexity the paper's runtime figures
-// (Fig. 5, Fig. 6) are calibrated against.
+// The neighbor search itself lives in the internal/neighbors subsystem,
+// which serves every query through a unified Index with a brute-force and a
+// k-d tree backend; this package is the thin adapter that the subspace
+// searchers (SURFING, RIS, OUTRES) use. New defaults to automatic backend
+// selection — results are bit-for-bit identical across backends, so callers
+// only ever observe the speed difference — while NewWithKind pins a backend,
+// e.g. to preserve the quadratic ranking-step complexity the paper's
+// figures (Fig. 5, Fig. 6) are calibrated against, or to skip the index
+// build when only Dist/CountWithin will be used.
 package knn
 
 import (
 	"fmt"
-	"math"
 
 	"hics/internal/dataset"
+	"hics/internal/neighbors"
 )
 
 // Neighbor is one query result: an object id and its distance to the query.
-type Neighbor struct {
-	ID   int
-	Dist float64
-}
+type Neighbor = neighbors.Neighbor
 
 // Searcher answers exact kNN queries on a fixed dataset and subspace.
 // It is safe for concurrent queries as long as each goroutine uses its own
 // scratch buffer (see NewScratch).
 type Searcher struct {
-	cols [][]float64 // selected columns, length |S|
+	idx  neighbors.Index
+	cols [][]float64 // selected columns, length |S|, for range counting
 	n    int
 }
 
-// New creates a Searcher over the given subspace dimensions of ds.
+// New creates a Searcher over the given subspace dimensions of ds, with
+// the neighbor-index backend chosen automatically from (N, |S|).
 func New(ds *dataset.Dataset, dims []int) (*Searcher, error) {
-	if len(dims) == 0 {
-		return nil, fmt.Errorf("knn: empty subspace")
+	return NewWithKind(ds, dims, neighbors.KindAuto)
+}
+
+// NewWithKind creates a Searcher with a pinned neighbor-index backend.
+func NewWithKind(ds *dataset.Dataset, dims []int, kind neighbors.Kind) (*Searcher, error) {
+	idx, err := neighbors.New(ds, dims, kind)
+	if err != nil {
+		return nil, fmt.Errorf("knn: %w", err)
 	}
 	cols := make([][]float64, len(dims))
 	for k, d := range dims {
-		if d < 0 || d >= ds.D() {
-			return nil, fmt.Errorf("knn: dimension %d out of range [0,%d)", d, ds.D())
-		}
 		cols[k] = ds.Col(d)
 	}
-	return &Searcher{cols: cols, n: ds.N()}, nil
+	return &Searcher{idx: idx, cols: cols, n: ds.N()}, nil
 }
 
 // N returns the number of indexed objects.
 func (s *Searcher) N() int { return s.n }
 
+// Index exposes the backing neighbor index.
+func (s *Searcher) Index() neighbors.Index { return s.idx }
+
 // Dist returns the Euclidean distance between objects i and j in the
 // searcher's subspace.
-func (s *Searcher) Dist(i, j int) float64 {
-	sum := 0.0
-	for _, col := range s.cols {
-		d := col[i] - col[j]
-		sum += d * d
-	}
-	return math.Sqrt(sum)
-}
+func (s *Searcher) Dist(i, j int) float64 { return s.idx.Dist(i, j) }
 
 // Scratch holds per-goroutine query buffers.
 type Scratch struct {
-	dists []float64
-	sel   []float64
+	inner *neighbors.Scratch
+	dists []float64 // range-count accumulator, allocated on first CountWithin
 }
 
 // NewScratch allocates query buffers for the searcher.
 func (s *Searcher) NewScratch() *Scratch {
-	return &Scratch{
-		dists: make([]float64, s.n),
-		sel:   make([]float64, 0, s.n),
-	}
+	return &Scratch{inner: s.idx.NewScratch()}
 }
 
 // Neighborhood returns the LOF-style k-neighborhood of object q: the
@@ -83,88 +80,16 @@ func (s *Searcher) NewScratch() *Scratch {
 // k is clamped to n−1. The scratch buffer must not be shared across
 // concurrent calls.
 func (s *Searcher) Neighborhood(q, k int, sc *Scratch, out []Neighbor) (neighbors []Neighbor, kdist float64) {
-	if k >= s.n {
-		k = s.n - 1
-	}
-	if k <= 0 {
-		return out[:0], 0
-	}
-	// All squared distances from q.
-	dists := sc.dists
-	cols := s.cols
-	for i := range dists {
-		dists[i] = 0
-	}
-	for _, col := range cols {
-		cq := col[q]
-		for i, v := range col {
-			d := v - cq
-			dists[i] += d * d
-		}
-	}
-	dists[q] = math.Inf(1) // exclude the query itself
-
-	// k-th smallest squared distance via quickselect on a copy.
-	sel := append(sc.sel[:0], dists...)
-	kth := quickselect(sel, k-1)
-
-	neighbors = out[:0]
-	for i, d := range dists {
-		if d <= kth && i != q {
-			neighbors = append(neighbors, Neighbor{ID: i, Dist: math.Sqrt(d)})
-		}
-	}
-	return neighbors, math.Sqrt(kth)
-}
-
-// quickselect returns the k-th smallest element (0-based) of xs,
-// partially reordering xs in place. Median-of-three pivoting keeps the
-// expected cost linear even on sorted inputs.
-func quickselect(xs []float64, k int) float64 {
-	lo, hi := 0, len(xs)-1
-	for lo < hi {
-		p := partition(xs, lo, hi)
-		switch {
-		case k == p:
-			return xs[k]
-		case k < p:
-			hi = p - 1
-		default:
-			lo = p + 1
-		}
-	}
-	return xs[k]
-}
-
-func partition(xs []float64, lo, hi int) int {
-	mid := lo + (hi-lo)/2
-	// Median-of-three: order xs[lo], xs[mid], xs[hi].
-	if xs[mid] < xs[lo] {
-		xs[mid], xs[lo] = xs[lo], xs[mid]
-	}
-	if xs[hi] < xs[lo] {
-		xs[hi], xs[lo] = xs[lo], xs[hi]
-	}
-	if xs[hi] < xs[mid] {
-		xs[hi], xs[mid] = xs[mid], xs[hi]
-	}
-	pivot := xs[mid]
-	xs[mid], xs[hi-1] = xs[hi-1], xs[mid]
-	i := lo
-	for j := lo; j < hi-1; j++ {
-		if xs[j] < pivot {
-			xs[i], xs[j] = xs[j], xs[i]
-			i++
-		}
-	}
-	xs[i], xs[hi-1] = xs[hi-1], xs[i]
-	return i
+	return s.idx.KNN(q, k, sc.inner, out)
 }
 
 // CountWithin returns how many objects (excluding q) lie within eps of q.
 // Used by the RIS core-object criterion.
 func (s *Searcher) CountWithin(q int, eps float64, sc *Scratch) int {
 	eps2 := eps * eps
+	if sc.dists == nil {
+		sc.dists = make([]float64, s.n)
+	}
 	dists := sc.dists
 	for i := range dists {
 		dists[i] = 0

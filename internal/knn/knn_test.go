@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"hics/internal/dataset"
+	"hics/internal/neighbors"
 	"hics/internal/rng"
 )
 
@@ -115,31 +116,39 @@ func TestCountWithin(t *testing.T) {
 	}
 }
 
-func TestQuickselect(t *testing.T) {
-	r := rng.New(3)
-	for trial := 0; trial < 50; trial++ {
-		n := r.IntRange(1, 200)
-		xs := make([]float64, n)
-		for i := range xs {
-			xs[i] = math.Floor(r.Float64() * 20) // ties likely
-		}
-		k := r.Intn(n)
-		want := append([]float64(nil), xs...)
-		sort.Float64s(want)
-		got := quickselect(append([]float64(nil), xs...), k)
-		if got != want[k] {
-			t.Fatalf("quickselect(%v, %d) = %v, want %v", xs, k, got, want[k])
-		}
+func TestNewWithKindEquivalence(t *testing.T) {
+	// Pinned backends must agree bit-for-bit through the adapter.
+	r := rng.New(5)
+	n := 300
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	for i := 0; i < n; i++ {
+		cols[0][i] = math.Floor(r.Float64() * 10)
+		cols[1][i] = r.Float64()
 	}
-}
-
-func TestQuickselectSortedInput(t *testing.T) {
-	xs := make([]float64, 1000)
-	for i := range xs {
-		xs[i] = float64(i)
+	ds := dataset.MustNew(nil, cols)
+	brute, err := NewWithKind(ds, []int{0, 1}, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := quickselect(xs, 500); got != 500 {
-		t.Errorf("quickselect sorted = %v", got)
+	tree, err := NewWithKind(ds, []int{0, 1}, neighbors.KindKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute.Index().Kind() != neighbors.KindBrute || tree.Index().Kind() != neighbors.KindKDTree {
+		t.Fatal("NewWithKind did not pin the backend")
+	}
+	scB, scT := brute.NewScratch(), tree.NewScratch()
+	for q := 0; q < n; q++ {
+		nbB, kdB := brute.Neighborhood(q, 10, scB, nil)
+		nbT, kdT := tree.Neighborhood(q, 10, scT, nil)
+		if kdB != kdT || len(nbB) != len(nbT) {
+			t.Fatalf("q=%d: backends disagree (%d/%v vs %d/%v)", q, len(nbB), kdB, len(nbT), kdT)
+		}
+		for i := range nbB {
+			if nbB[i] != nbT[i] {
+				t.Fatalf("q=%d neighbor %d: %v vs %v", q, i, nbB[i], nbT[i])
+			}
+		}
 	}
 }
 

@@ -6,7 +6,10 @@
 //
 // Both scorers accept an explicit subspace so that, as proposed by
 // Lazarevic & Kumar and adopted by HiCS, object distances are measured
-// only w.r.t. the given projection.
+// only w.r.t. the given projection. Neighborhoods come from the
+// internal/neighbors index subsystem; the *With variants pin a backend,
+// the plain variants use automatic selection. Backends are bit-for-bit
+// equivalent, so the choice only affects speed.
 package lof
 
 import (
@@ -14,25 +17,32 @@ import (
 	"math"
 
 	"hics/internal/dataset"
-	"hics/internal/knn"
+	"hics/internal/neighbors"
 )
 
 // DefaultMinPts is the LOF neighborhood size used throughout the paper's
 // experiments when nothing else is specified.
 const DefaultMinPts = 10
 
-// Scores computes the Local Outlier Factor of every object w.r.t. the given
-// subspace dims. minPts is the neighborhood size (MinPts in the original
-// paper); values below 1 fall back to DefaultMinPts.
+// Scores computes the Local Outlier Factor of every object w.r.t. the
+// given subspace dims with the automatically selected neighbor index.
+func Scores(ds *dataset.Dataset, dims []int, minPts int) ([]float64, error) {
+	return ScoresWith(ds, dims, minPts, neighbors.KindAuto)
+}
+
+// ScoresWith computes the Local Outlier Factor of every object w.r.t. the
+// given subspace dims, using the requested neighbor-index backend. minPts
+// is the neighborhood size (MinPts in the original paper); values below 1
+// fall back to DefaultMinPts.
 //
 // Duplicate-heavy data is handled per the original definition: a point
 // whose neighborhood has zero reachability distance gets an infinite local
 // reachability density, and ratios ∞/∞ resolve to 1.
-func Scores(ds *dataset.Dataset, dims []int, minPts int) ([]float64, error) {
+func ScoresWith(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind) ([]float64, error) {
 	if minPts < 1 {
 		minPts = DefaultMinPts
 	}
-	searcher, err := knn.New(ds, dims)
+	idx, err := neighbors.New(ds, dims, kind)
 	if err != nil {
 		return nil, fmt.Errorf("lof: %w", err)
 	}
@@ -41,15 +51,8 @@ func Scores(ds *dataset.Dataset, dims []int, minPts int) ([]float64, error) {
 		return nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
 	}
 
-	// Pass 1: materialize neighborhoods and k-distances.
-	neighborhoods := make([][]knn.Neighbor, n)
-	kdist := make([]float64, n)
-	sc := searcher.NewScratch()
-	for i := 0; i < n; i++ {
-		nb, kd := searcher.Neighborhood(i, minPts, sc, nil)
-		neighborhoods[i] = append([]knn.Neighbor(nil), nb...)
-		kdist[i] = kd
-	}
+	// Pass 1: materialize neighborhoods and k-distances (batched, parallel).
+	neighborhoods, kdist := idx.KNNAll(minPts)
 
 	// Pass 2: local reachability densities.
 	lrd := make([]float64, n)
@@ -89,14 +92,21 @@ func Scores(ds *dataset.Dataset, dims []int, minPts int) ([]float64, error) {
 	return scores, nil
 }
 
-// KNNScores computes the average distance to the k nearest neighbors of
-// every object in the given subspace — a simple density-based score that is
-// monotone in "outlierness" like LOF but cheaper and non-local.
+// KNNScores computes the average-kNN-distance score with the automatically
+// selected neighbor index.
 func KNNScores(ds *dataset.Dataset, dims []int, k int) ([]float64, error) {
+	return KNNScoresWith(ds, dims, k, neighbors.KindAuto)
+}
+
+// KNNScoresWith computes the average distance to the k nearest neighbors
+// of every object in the given subspace — a simple density-based score
+// that is monotone in "outlierness" like LOF but cheaper and non-local —
+// using the requested neighbor-index backend.
+func KNNScoresWith(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) ([]float64, error) {
 	if k < 1 {
 		k = DefaultMinPts
 	}
-	searcher, err := knn.New(ds, dims)
+	idx, err := neighbors.New(ds, dims, kind)
 	if err != nil {
 		return nil, fmt.Errorf("lof: %w", err)
 	}
@@ -104,12 +114,9 @@ func KNNScores(ds *dataset.Dataset, dims []int, k int) ([]float64, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
 	}
+	neighborhoods, _ := idx.KNNAll(k)
 	scores := make([]float64, n)
-	sc := searcher.NewScratch()
-	var buf []knn.Neighbor
-	for i := 0; i < n; i++ {
-		nb, _ := searcher.Neighborhood(i, k, sc, buf)
-		buf = nb
+	for i, nb := range neighborhoods {
 		if len(nb) == 0 {
 			continue
 		}

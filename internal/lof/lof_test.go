@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"hics/internal/dataset"
+	"hics/internal/neighbors"
 	"hics/internal/rng"
 )
 
@@ -239,6 +240,53 @@ func TestQuickLOFScaleInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScoresIndexEquivalence is the tentpole contract at the LOF level:
+// KD-tree-backed scores equal brute-force scores bit for bit.
+func TestScoresIndexEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, n := range []int{30, 150, 400} {
+			ds := clusterWithOutlier(seed, n)
+			brute, err := ScoresWith(ds, []int{0, 1}, 10, neighbors.KindBrute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := ScoresWith(ds, []int{0, 1}, 10, neighbors.KindKDTree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			auto, err := Scores(ds, []int{0, 1}, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range brute {
+				if brute[i] != tree[i] {
+					t.Fatalf("seed=%d n=%d: LOF[%d] brute %v != kdtree %v", seed, n, i, brute[i], tree[i])
+				}
+				if brute[i] != auto[i] {
+					t.Fatalf("seed=%d n=%d: LOF[%d] brute %v != auto %v", seed, n, i, brute[i], auto[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKNNScoresIndexEquivalence(t *testing.T) {
+	ds := clusterWithOutlier(6, 300)
+	brute, err := KNNScoresWith(ds, []int{0, 1}, 10, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := KNNScoresWith(ds, []int{0, 1}, 10, neighbors.KindKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range brute {
+		if brute[i] != tree[i] {
+			t.Fatalf("kNN score[%d] brute %v != kdtree %v", i, brute[i], tree[i])
+		}
 	}
 }
 

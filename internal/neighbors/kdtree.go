@@ -1,0 +1,242 @@
+package neighbors
+
+import (
+	"math"
+	"sort"
+)
+
+// KDTree is the space-partitioning backend: a median-split k-d tree stored
+// implicitly in a permutation of the object ids (the node of segment
+// [lo,hi) sits at its midpoint, children are the two half-segments), so
+// the whole structure is one []int with zero per-node allocation.
+//
+// Queries run in two exact phases: a best-first bound phase that finds the
+// k-th smallest squared distance with a size-k max-heap, then a range
+// phase that collects every object within that bound. Both phases prune a
+// subtree only when the squared split-plane offset strictly exceeds the
+// bound, which under floating point can never discard an object whose full
+// squared distance is within the bound (the full distance is a sum of
+// non-negative rounded terms, hence at least its split-axis term).
+type KDTree struct {
+	cols [][]float64
+	n    int
+	ids  []int
+}
+
+func newKDTree(cols [][]float64, n int) *KDTree {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	t := &KDTree{cols: cols, n: n, ids: ids}
+	t.buildRange(0, n, 0)
+	return t
+}
+
+// buildRange recursively median-splits ids[lo:hi) on the depth-cycled axis.
+func (t *KDTree) buildRange(lo, hi, depth int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	axis := depth % len(t.cols)
+	nthElement(t.ids, lo, hi, mid, t.cols[axis])
+	next := depth + 1
+	t.buildRange(lo, mid, next)
+	t.buildRange(mid+1, hi, next)
+}
+
+// N implements Index.
+func (t *KDTree) N() int { return t.n }
+
+// Kind implements Index.
+func (t *KDTree) Kind() Kind { return KindKDTree }
+
+// Dist implements Index.
+func (t *KDTree) Dist(i, j int) float64 { return dist(t.cols, i, j) }
+
+// NewScratch implements Index.
+func (t *KDTree) NewScratch() *Scratch {
+	return &Scratch{
+		qv:    make([]float64, 0, len(t.cols)),
+		bound: make([]float64, 0, 32),
+	}
+}
+
+// d2 is the full squared distance from the query (sc.qv) to object id,
+// accumulated in subspace column order exactly like the brute backend.
+func (t *KDTree) d2(qv []float64, id int) float64 {
+	sum := 0.0
+	for c, col := range t.cols {
+		d := col[id] - qv[c]
+		sum += d * d
+	}
+	return sum
+}
+
+// KNN implements Index.
+func (t *KDTree) KNN(q, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64) {
+	if k >= t.n {
+		k = t.n - 1
+	}
+	if k <= 0 {
+		return out[:0], 0
+	}
+	qv := sc.qv[:0]
+	for _, col := range t.cols {
+		qv = append(qv, col[q])
+	}
+	sc.qv = qv
+	sc.bound = sc.bound[:0]
+	t.searchBound(0, t.n, 0, q, k, sc)
+	tau := sc.bound[0] // k-th smallest squared distance
+	sc.cand = sc.cand[:0]
+	t.collect(0, t.n, 0, q, tau, sc)
+	sort.Slice(sc.cand, func(a, b int) bool { return sc.cand[a].id < sc.cand[b].id })
+	neighbors := out[:0]
+	for _, c := range sc.cand {
+		neighbors = append(neighbors, Neighbor{ID: c.id, Dist: math.Sqrt(c.d2)})
+	}
+	return neighbors, math.Sqrt(tau)
+}
+
+// KNNAll implements Index.
+func (t *KDTree) KNNAll(k int) ([][]Neighbor, []float64) { return knnAll(t, k) }
+
+// searchBound fills sc.bound with the k smallest squared distances from
+// the query to objects other than q, visiting near subtrees first.
+func (t *KDTree) searchBound(lo, hi, depth, q, k int, sc *Scratch) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	id := t.ids[mid]
+	if id != q {
+		sc.bound = boundPush(sc.bound, k, t.d2(sc.qv, id))
+	}
+	axis := depth % len(t.cols)
+	diff := sc.qv[axis] - t.cols[axis][id]
+	nearLo, nearHi, farLo, farHi := mid+1, hi, lo, mid
+	if diff < 0 {
+		nearLo, nearHi, farLo, farHi = lo, mid, mid+1, hi
+	}
+	t.searchBound(nearLo, nearHi, depth+1, q, k, sc)
+	if len(sc.bound) < k || diff*diff <= sc.bound[0] {
+		t.searchBound(farLo, farHi, depth+1, q, k, sc)
+	}
+}
+
+// collect appends every object (except q) with squared distance ≤ tau.
+func (t *KDTree) collect(lo, hi, depth, q int, tau float64, sc *Scratch) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	id := t.ids[mid]
+	if id != q {
+		if d2 := t.d2(sc.qv, id); d2 <= tau {
+			sc.cand = append(sc.cand, candidate{id: id, d2: d2})
+		}
+	}
+	axis := depth % len(t.cols)
+	diff := sc.qv[axis] - t.cols[axis][id]
+	nearLo, nearHi, farLo, farHi := mid+1, hi, lo, mid
+	if diff < 0 {
+		nearLo, nearHi, farLo, farHi = lo, mid, mid+1, hi
+	}
+	t.collect(nearLo, nearHi, depth+1, q, tau, sc)
+	if diff*diff <= tau {
+		t.collect(farLo, farHi, depth+1, q, tau, sc)
+	}
+}
+
+// boundPush maintains h as a max-heap of the k smallest values seen.
+func boundPush(h []float64, k int, d2 float64) []float64 {
+	if len(h) < k {
+		h = append(h, d2)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p] >= h[i] {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		return h
+	}
+	if d2 >= h[0] {
+		return h
+	}
+	h[0] = d2
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	return h
+}
+
+// nthElement partially sorts ids[lo:hi) so that position k holds the
+// element it would hold after a full sort by (col value, id). The id
+// tie-break makes all keys distinct, keeping quickselect linear on
+// constant columns (where ids arrive pre-sorted and median-of-three
+// pivoting behaves).
+func nthElement(ids []int, lo, hi, k int, col []float64) {
+	hi--
+	for lo < hi {
+		p := partitionIDs(ids, lo, hi, col)
+		switch {
+		case k == p:
+			return
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+// idLess orders object ids by column value, ties by id.
+func idLess(col []float64, a, b int) bool {
+	if col[a] != col[b] {
+		return col[a] < col[b]
+	}
+	return a < b
+}
+
+func partitionIDs(ids []int, lo, hi int, col []float64) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order ids[lo], ids[mid], ids[hi].
+	if idLess(col, ids[mid], ids[lo]) {
+		ids[mid], ids[lo] = ids[lo], ids[mid]
+	}
+	if idLess(col, ids[hi], ids[lo]) {
+		ids[hi], ids[lo] = ids[lo], ids[hi]
+	}
+	if idLess(col, ids[hi], ids[mid]) {
+		ids[hi], ids[mid] = ids[mid], ids[hi]
+	}
+	pivot := ids[mid]
+	ids[mid], ids[hi-1] = ids[hi-1], ids[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if idLess(col, ids[j], pivot) {
+			ids[i], ids[j] = ids[j], ids[i]
+			i++
+		}
+	}
+	ids[i], ids[hi-1] = ids[hi-1], ids[i]
+	return i
+}

@@ -1,0 +1,356 @@
+package neighbors
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+)
+
+// randomDataset builds an n×d dataset. quant > 0 floors values onto a
+// coarse grid so exact duplicates and distance ties are common.
+func randomDataset(seed uint64, n, d int, quant float64) *dataset.Dataset {
+	r := rng.New(seed)
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			v := r.Float64()
+			if quant > 0 {
+				v = math.Floor(v*quant) / quant
+			}
+			cols[j][i] = v
+		}
+	}
+	return dataset.MustNew(nil, cols)
+}
+
+func allDims(d int) []int {
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = i
+	}
+	return dims
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"": KindAuto, "auto": KindAuto,
+		"brute": KindBrute, "bruteforce": KindBrute, "linear": KindBrute,
+		"kdtree": KindKDTree, "kd-tree": KindKDTree, "kd": KindKDTree,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("octree"); err == nil {
+		t.Error("ParseKind should reject unknown kinds")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindAuto: "auto", KindBrute: "brute", KindKDTree: "kdtree"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := randomDataset(1, 10, 2, 0)
+	for _, kind := range []Kind{KindAuto, KindBrute, KindKDTree} {
+		if _, err := New(ds, nil, kind); err == nil {
+			t.Errorf("%v: empty subspace should fail", kind)
+		}
+		if _, err := New(ds, []int{9}, kind); err == nil {
+			t.Errorf("%v: out-of-range dim should fail", kind)
+		}
+	}
+}
+
+func TestAutoSelection(t *testing.T) {
+	small := randomDataset(2, AutoMinN-1, 2, 0)
+	big := randomDataset(3, AutoMinN, 2, 0)
+	ix, err := New(small, []int{0, 1}, KindAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kind() != KindBrute {
+		t.Errorf("auto on n=%d resolved to %v, want brute", small.N(), ix.Kind())
+	}
+	ix, err = New(big, []int{0, 1}, KindAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kind() != KindKDTree {
+		t.Errorf("auto on n=%d resolved to %v, want kdtree", big.N(), ix.Kind())
+	}
+	wide := randomDataset(4, AutoMinN, AutoMaxDim+1, 0)
+	ix, err = New(wide, allDims(AutoMaxDim+1), KindAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kind() != KindBrute {
+		t.Errorf("auto on %d dims resolved to %v, want brute", AutoMaxDim+1, ix.Kind())
+	}
+}
+
+// TestKDTreeMatchesBruteBitForBit is the subsystem's core contract: for
+// every query and every k, the tree and the scan return the identical
+// neighbor set, identical float64 distances, and identical k-distance.
+func TestKDTreeMatchesBruteBitForBit(t *testing.T) {
+	configs := []struct {
+		seed    uint64
+		n, d    int
+		quant   float64 // 0 = continuous, >0 = heavy ties/duplicates
+		queries int
+	}{
+		{1, 50, 1, 0, 50},
+		{2, 200, 2, 0, 200},
+		{3, 500, 3, 0, 100},
+		{4, 300, 2, 4, 300}, // quantized: many exact duplicates
+		{5, 120, 5, 0, 120},
+		{6, 64, 2, 1, 64}, // near-constant columns
+	}
+	for _, cfg := range configs {
+		ds := randomDataset(cfg.seed, cfg.n, cfg.d, cfg.quant)
+		dims := allDims(cfg.d)
+		brute, err := New(ds, dims, KindBrute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := New(ds, dims, KindKDTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scB, scT := brute.NewScratch(), tree.NewScratch()
+		for _, k := range []int{1, 3, 10, cfg.n - 1, cfg.n + 5} {
+			for q := 0; q < cfg.queries; q++ {
+				nbB, kdB := brute.KNN(q, k, scB, nil)
+				nbT, kdT := tree.KNN(q, k, scT, nil)
+				if kdB != kdT {
+					t.Fatalf("n=%d d=%d q=%d k=%d: kdist brute %v != kdtree %v",
+						cfg.n, cfg.d, q, k, kdB, kdT)
+				}
+				if len(nbB) != len(nbT) {
+					t.Fatalf("n=%d d=%d q=%d k=%d: %d neighbors brute vs %d kdtree",
+						cfg.n, cfg.d, q, k, len(nbB), len(nbT))
+				}
+				for i := range nbB {
+					if nbB[i] != nbT[i] {
+						t.Fatalf("n=%d d=%d q=%d k=%d: neighbor %d brute %v != kdtree %v",
+							cfg.n, cfg.d, q, k, i, nbB[i], nbT[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNAllMatchesKNN(t *testing.T) {
+	ds := randomDataset(7, 150, 3, 0)
+	dims := allDims(3)
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(ds, dims, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nbs, kdists := ix.KNNAll(7)
+		sc := ix.NewScratch()
+		for q := 0; q < ds.N(); q++ {
+			nb, kd := ix.KNN(q, 7, sc, nil)
+			if kd != kdists[q] {
+				t.Fatalf("%v: KNNAll kdist[%d] = %v, KNN = %v", kind, q, kdists[q], kd)
+			}
+			if len(nb) != len(nbs[q]) {
+				t.Fatalf("%v: KNNAll nbs[%d] len %d, KNN %d", kind, q, len(nbs[q]), len(nb))
+			}
+			for i := range nb {
+				if nb[i] != nbs[q][i] {
+					t.Fatalf("%v: KNNAll nbs[%d][%d] = %v, KNN = %v", kind, q, i, nbs[q][i], nb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	ds := randomDataset(8, 5, 2, 0)
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(ds, []int{0, 1}, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := ix.NewScratch()
+		if nb, kd := ix.KNN(0, 0, sc, nil); len(nb) != 0 || kd != 0 {
+			t.Errorf("%v: k=0 gave %v, %v", kind, nb, kd)
+		}
+		if nb, kd := ix.KNN(0, -3, sc, nil); len(nb) != 0 || kd != 0 {
+			t.Errorf("%v: k<0 gave %v, %v", kind, nb, kd)
+		}
+		if nb, _ := ix.KNN(0, 100, sc, nil); len(nb) != 4 {
+			t.Errorf("%v: k clamp gave %d neighbors, want 4", kind, len(nb))
+		}
+	}
+	// A dataset of one object has no neighbors at any k.
+	one := dataset.MustNew(nil, [][]float64{{1}, {2}})
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(one, []int{0, 1}, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nb, kd := ix.KNN(0, 1, ix.NewScratch(), nil); len(nb) != 0 || kd != 0 {
+			t.Errorf("%v: singleton gave %v, %v", kind, nb, kd)
+		}
+	}
+}
+
+func TestDistMatchesAcrossBackends(t *testing.T) {
+	ds := randomDataset(9, 40, 4, 0)
+	dims := []int{2, 0, 3} // subspace order matters for FP accumulation
+	brute, _ := New(ds, dims, KindBrute)
+	tree, _ := New(ds, dims, KindKDTree)
+	for i := 0; i < ds.N(); i++ {
+		for j := 0; j < ds.N(); j++ {
+			if brute.Dist(i, j) != tree.Dist(i, j) {
+				t.Fatalf("Dist(%d,%d) differs across backends", i, j)
+			}
+		}
+	}
+	if d := brute.Dist(0, 0); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+// Property: the tree neighborhood is exactly the set of points within the
+// k-th smallest distance, on adversarially tie-heavy data.
+func TestQuickKDTreeDefinition(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw, dRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%60) + 3
+		k := int(kRaw)%(n-1) + 1
+		d := int(dRaw%3) + 1
+		cols := make([][]float64, d)
+		for j := range cols {
+			cols[j] = make([]float64, n)
+			for i := range cols[j] {
+				cols[j][i] = math.Floor(r.Float64() * 5) // heavy ties
+			}
+		}
+		ds := dataset.MustNew(nil, cols)
+		tree, err := New(ds, allDims(d), KindKDTree)
+		if err != nil {
+			return false
+		}
+		sc := tree.NewScratch()
+		q := r.Intn(n)
+		nb, kd := tree.KNN(q, k, sc, nil)
+
+		type pair struct {
+			id int
+			d  float64
+		}
+		var all []pair
+		for i := 0; i < n; i++ {
+			if i != q {
+				all = append(all, pair{i, tree.Dist(q, i)})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		if kd != all[k-1].d {
+			return false
+		}
+		want := map[int]bool{}
+		for _, p := range all {
+			if p.d <= kd {
+				want[p.id] = true
+			}
+		}
+		if len(nb) != len(want) {
+			return false
+		}
+		for i, x := range nb {
+			if !want[x.ID] || (i > 0 && nb[i-1].ID >= x.ID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickselect(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntRange(1, 200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 20) // ties likely
+		}
+		k := r.Intn(n)
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		got := quickselect(append([]float64(nil), xs...), k)
+		if got != want[k] {
+			t.Fatalf("quickselect(%v, %d) = %v, want %v", xs, k, got, want[k])
+		}
+	}
+}
+
+func TestQuickselectSortedInput(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if got := quickselect(xs, 500); got != 500 {
+		t.Errorf("quickselect sorted = %v", got)
+	}
+}
+
+func TestNthElement(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntRange(2, 100)
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = math.Floor(r.Float64() * 3) // constant-ish columns
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		k := r.Intn(n)
+		want := append([]int(nil), ids...)
+		sort.Slice(want, func(a, b int) bool { return idLess(col, want[a], want[b]) })
+		nthElement(ids, 0, n, k, col)
+		if ids[k] != want[k] {
+			t.Fatalf("nthElement k=%d got id %d, want %d", k, ids[k], want[k])
+		}
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	ds := randomDataset(1, 10000, 3, 0)
+	dims := allDims(3)
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(ds, dims, kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kind.String(), func(b *testing.B) {
+			sc := ix.NewScratch()
+			var nb []Neighbor
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nb, _ = ix.KNN(i%ds.N(), 10, sc, nb)
+			}
+		})
+	}
+}

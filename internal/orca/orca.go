@@ -6,14 +6,19 @@
 // runtime in the outlier ranking step."
 //
 // ORCA scores an object by its average distance to its k nearest
-// neighbors and reports the top-n outliers. Its speed comes from a
-// pruning rule: while scanning the (randomly shuffled) database to refine
-// a candidate's k-NN set, the current average over the k nearest
-// distances found so far is an upper bound on the final score — as soon
-// as it drops below the weakest score in the current top-n, the candidate
-// cannot be a top outlier and the scan aborts. With a randomized scan
-// order the cutoff rises quickly and most candidates are pruned after a
-// handful of distance computations.
+// neighbors and reports the top-n outliers. Two execution paths feed that
+// score from the internal/neighbors index subsystem:
+//
+//   - Brute backend: the classic randomized scan with the pruning rule —
+//     while refining a candidate's k-NN set against the shuffled database,
+//     the running average of the k nearest distances found so far is an
+//     upper bound on the final score, and a candidate is abandoned as soon
+//     as that bound drops below the weakest score in the current top-n.
+//   - KD-tree backend: each candidate's exact k-NN set comes straight from
+//     the spatial index, which replaces the pruning heuristic outright.
+//
+// Both paths sum the k nearest distances in ascending order, so their
+// scores — and therefore the mined top-n — are bit-for-bit identical.
 package orca
 
 import (
@@ -21,11 +26,13 @@ import (
 	"sort"
 
 	"hics/internal/dataset"
-	"hics/internal/knn"
+	"hics/internal/neighbors"
+	"hics/internal/ranking"
 	"hics/internal/rng"
 )
 
-// Params configures the ORCA run. Zero values select k=10 and n=30.
+// Params configures the ORCA run. Zero values select k=10, n=30 and
+// automatic neighbor-index selection.
 type Params struct {
 	// K is the neighborhood size of the distance score.
 	K int
@@ -33,6 +40,10 @@ type Params struct {
 	TopN int
 	// Seed drives the randomized candidate and scan orders.
 	Seed uint64
+	// Index selects the neighbor-index backend. The brute backend runs the
+	// classic pruned scan; the k-d tree backend answers each candidate's
+	// k-NN query from the index.
+	Index neighbors.Kind
 }
 
 func (p Params) withDefaults() Params {
@@ -52,6 +63,8 @@ type Outlier struct {
 }
 
 // Stats reports the work ORCA performed, for the pruning-efficiency bench.
+// The index-backed path performs no pairwise scan, so both counters stay
+// zero there.
 type Stats struct {
 	// DistanceComputations counts evaluated object pairs.
 	DistanceComputations int
@@ -63,7 +76,7 @@ type Stats struct {
 // Results are sorted by descending score.
 func TopOutliers(ds *dataset.Dataset, dims []int, p Params) ([]Outlier, Stats, error) {
 	p = p.withDefaults()
-	searcher, err := knn.New(ds, dims)
+	idx, err := neighbors.New(ds, dims, p.Index)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("orca: %w", err)
 	}
@@ -82,14 +95,22 @@ func TopOutliers(ds *dataset.Dataset, dims []int, p Params) ([]Outlier, Stats, e
 
 	r := rng.New(p.Seed)
 	candOrder := r.Perm(n)
-	scanOrder := r.Perm(n)
 
+	if idx.Kind() == neighbors.KindKDTree {
+		return topOutliersIndexed(idx, candOrder, k, topN)
+	}
+	return topOutliersScan(idx, candOrder, r.Perm(n), k, topN)
+}
+
+// topOutliersScan is the classic ORCA: randomized scan with pruning.
+func topOutliersScan(idx neighbors.Index, candOrder, scanOrder []int, k, topN int) ([]Outlier, Stats, error) {
 	var stats Stats
 	var top []Outlier // sorted ascending by score; top[0] is the cutoff
 	cutoff := 0.0
 
-	// kdist is a max-heap (simple slice, small k) of the current nearest
-	// distances of the candidate being scanned.
+	// kdist holds the current nearest distances of the candidate being
+	// scanned, kept sorted ascending once full; sum is their ascending-order
+	// total, recomputed after every change so the final score is canonical.
 	kdist := make([]float64, 0, k)
 	for _, q := range candOrder {
 		kdist = kdist[:0]
@@ -99,20 +120,20 @@ func TopOutliers(ds *dataset.Dataset, dims []int, p Params) ([]Outlier, Stats, e
 			if o == q {
 				continue
 			}
-			d := searcher.Dist(q, o)
+			d := idx.Dist(q, o)
 			stats.DistanceComputations++
 			if len(kdist) < k {
 				kdist = append(kdist, d)
-				sum += d
 				if len(kdist) == k {
 					sort.Float64s(kdist) // establish order once full
+					sum = sumAsc(kdist)
 				}
 			} else if d < kdist[k-1] {
-				sum += d - kdist[k-1]
 				// replace the largest, keep sorted by insertion
 				i := sort.SearchFloat64s(kdist[:k-1], d)
 				copy(kdist[i+1:], kdist[i:k-1])
 				kdist[i] = d
+				sum = sumAsc(kdist)
 			}
 			// Pruning: once k neighbors are known, the running average can
 			// only decrease; below the cutoff the candidate is done for.
@@ -125,24 +146,73 @@ func TopOutliers(ds *dataset.Dataset, dims []int, p Params) ([]Outlier, Stats, e
 		if pruned {
 			continue
 		}
+		if len(kdist) < k {
+			sort.Float64s(kdist)
+			sum = sumAsc(kdist)
+		}
 		score := sum / float64(len(kdist))
-		if len(top) < topN {
-			top = insertAsc(top, Outlier{ID: q, Score: score})
-			if len(top) == topN {
-				cutoff = top[0].Score
-			}
-		} else if score > cutoff {
-			top = insertAsc(top[1:], Outlier{ID: q, Score: score})
+		top, cutoff = updateTop(top, topN, Outlier{ID: q, Score: score}, cutoff)
+	}
+	return descending(top), stats, nil
+}
+
+// topOutliersIndexed mines the same top-n with exact per-candidate k-NN
+// queries against the spatial index instead of the pruned scan.
+func topOutliersIndexed(idx neighbors.Index, candOrder []int, k, topN int) ([]Outlier, Stats, error) {
+	var top []Outlier
+	cutoff := 0.0
+	sc := idx.NewScratch()
+	var buf []neighbors.Neighbor
+	dists := make([]float64, 0, k+8)
+	for _, q := range candOrder {
+		nb, _ := idx.KNN(q, k, sc, buf)
+		buf = nb[:0]
+		dists = dists[:0]
+		for _, x := range nb {
+			dists = append(dists, x.Dist)
+		}
+		// The neighborhood may exceed k on ties; the score uses exactly the
+		// k nearest, summed ascending like the scan path.
+		sort.Float64s(dists)
+		if len(dists) > k {
+			dists = dists[:k]
+		}
+		score := sumAsc(dists) / float64(len(dists))
+		top, cutoff = updateTop(top, topN, Outlier{ID: q, Score: score}, cutoff)
+	}
+	return descending(top), Stats{}, nil
+}
+
+// sumAsc totals xs front to back; both paths feed it ascending-sorted
+// distances so the floating-point result is identical across backends.
+func sumAsc(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// updateTop folds one scored candidate into the score-ascending top list.
+func updateTop(top []Outlier, topN int, o Outlier, cutoff float64) ([]Outlier, float64) {
+	if len(top) < topN {
+		top = insertAsc(top, o)
+		if len(top) == topN {
 			cutoff = top[0].Score
 		}
+	} else if o.Score > cutoff {
+		top = insertAsc(top[1:], o)
+		cutoff = top[0].Score
 	}
+	return top, cutoff
+}
 
-	// Return descending.
+func descending(top []Outlier) []Outlier {
 	out := make([]Outlier, len(top))
 	for i, o := range top {
 		out[len(top)-1-i] = o
 	}
-	return out, stats, nil
+	return out
 }
 
 // insertAsc inserts o into the score-ascending slice.
@@ -155,7 +225,7 @@ func insertAsc(list []Outlier, o Outlier) []Outlier {
 }
 
 // Scorer adapts ORCA to the ranking pipeline: mined outliers keep their
-// distance scores, everything pruned scores zero. The resulting vector is
+// distance scores, everything else scores zero. The resulting vector is
 // a partial ranking — exactly what ORCA trades for its speed.
 type Scorer struct {
 	// K is the neighborhood size (0 = 10).
@@ -164,11 +234,13 @@ type Scorer struct {
 	TopN int
 	// Seed drives the randomized scan orders.
 	Seed uint64
+	// Index selects the neighbor-index backend.
+	Index neighbors.Kind
 }
 
 // Score implements ranking.Scorer.
 func (s Scorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
-	out, _, err := TopOutliers(ds, dims, Params{K: s.K, TopN: s.TopN, Seed: s.Seed})
+	out, _, err := TopOutliers(ds, dims, Params{K: s.K, TopN: s.TopN, Seed: s.Seed, Index: s.Index})
 	if err != nil {
 		return nil, err
 	}
@@ -181,3 +253,9 @@ func (s Scorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
 
 // Name implements ranking.Scorer.
 func (Scorer) Name() string { return "ORCA" }
+
+// WithIndex implements ranking.IndexableScorer.
+func (s Scorer) WithIndex(kind neighbors.Kind) ranking.Scorer {
+	s.Index = kind
+	return s
+}

@@ -7,6 +7,7 @@ import (
 
 	"hics/internal/dataset"
 	"hics/internal/lof"
+	"hics/internal/neighbors"
 	"hics/internal/rng"
 )
 
@@ -81,8 +82,9 @@ func TestTopOutliersMatchesExhaustive(t *testing.T) {
 }
 
 func TestPruningActuallyPrunes(t *testing.T) {
+	// Pin the brute backend: the pruned scan is what this test measures.
 	ds := blob(4, 400, 3)
-	_, stats, err := TopOutliers(ds, []int{0, 1}, Params{K: 10, TopN: 3, Seed: 5})
+	_, stats, err := TopOutliers(ds, []int{0, 1}, Params{K: 10, TopN: 3, Seed: 5, Index: neighbors.KindBrute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,6 +171,32 @@ func TestQuickSeedInvariance(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIndexEquivalence: the index-backed path must mine the identical
+// top-n with bit-identical scores as the classic pruned scan.
+func TestIndexEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, n := range []int{100, 400, 800} {
+			ds := blob(seed, n, 5)
+			brute, _, err := TopOutliers(ds, []int{0, 1}, Params{K: 10, TopN: 8, Seed: seed, Index: neighbors.KindBrute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, _, err := TopOutliers(ds, []int{0, 1}, Params{K: 10, TopN: 8, Seed: seed, Index: neighbors.KindKDTree})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(brute) != len(tree) {
+				t.Fatalf("seed=%d n=%d: %d outliers brute vs %d kdtree", seed, n, len(brute), len(tree))
+			}
+			for i := range brute {
+				if brute[i] != tree[i] {
+					t.Fatalf("seed=%d n=%d: outlier %d brute %+v != kdtree %+v", seed, n, i, brute[i], tree[i])
+				}
+			}
+		}
 	}
 }
 

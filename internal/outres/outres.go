@@ -25,6 +25,7 @@ import (
 
 	"hics/internal/dataset"
 	"hics/internal/knn"
+	"hics/internal/neighbors"
 	"hics/internal/stats"
 )
 
@@ -39,7 +40,9 @@ type Scorer struct {
 // Score implements ranking.Scorer: one non-negative outlierness value per
 // object, higher = more outlying.
 func (s Scorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
-	searcher, err := knn.New(ds, dims)
+	// Pin the brute backend: OUTRES only takes pairwise distances (Dist),
+	// so a k-d tree would be built per subspace and never queried.
+	searcher, err := knn.NewWithKind(ds, dims, neighbors.KindBrute)
 	if err != nil {
 		return nil, fmt.Errorf("outres: %w", err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"hics/internal/dataset"
 	"hics/internal/lof"
+	"hics/internal/neighbors"
 	"hics/internal/pca"
 	"hics/internal/subspace"
 )
@@ -35,35 +36,60 @@ type Scorer interface {
 	Name() string
 }
 
+// IndexableScorer is implemented by scorers whose neighbor search runs
+// against the internal/neighbors index subsystem; WithIndex returns a copy
+// of the scorer pinned to the given backend. Backends are bit-for-bit
+// equivalent, so the choice only affects speed.
+type IndexableScorer interface {
+	Scorer
+	WithIndex(kind neighbors.Kind) Scorer
+}
+
 // LOFScorer scores with the Local Outlier Factor, the paper's reference
 // instantiation.
 type LOFScorer struct {
 	// MinPts is the LOF neighborhood size; 0 selects lof.DefaultMinPts.
 	MinPts int
+	// Index selects the neighbor-index backend (default automatic).
+	Index neighbors.Kind
 }
 
 // Score implements Scorer.
 func (s LOFScorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
-	return lof.Scores(ds, dims, s.MinPts)
+	return lof.ScoresWith(ds, dims, s.MinPts, s.Index)
 }
 
 // Name implements Scorer.
 func (s LOFScorer) Name() string { return "LOF" }
+
+// WithIndex implements IndexableScorer.
+func (s LOFScorer) WithIndex(kind neighbors.Kind) Scorer {
+	s.Index = kind
+	return s
+}
 
 // KNNScorer scores with the average k-nearest-neighbor distance, the
 // cheaper alternative named in the paper's future work.
 type KNNScorer struct {
 	// K is the neighborhood size; 0 selects lof.DefaultMinPts.
 	K int
+	// Index selects the neighbor-index backend (default automatic).
+	Index neighbors.Kind
 }
 
 // Score implements Scorer.
 func (s KNNScorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
-	return lof.KNNScores(ds, dims, s.K)
+	return lof.KNNScoresWith(ds, dims, s.K, s.Index)
 }
 
 // Name implements Scorer.
 func (s KNNScorer) Name() string { return "kNN" }
+
+// WithIndex implements IndexableScorer.
+func (s KNNScorer) WithIndex(kind neighbors.Kind) Scorer {
+	s.Index = kind
+	return s
+}
 
 // Aggregation selects how per-subspace scores combine (Sec. IV-C).
 type Aggregation int
@@ -113,6 +139,9 @@ type Pipeline struct {
 	// MaxSubspaces caps how many of the searcher's subspaces are scored
 	// ("we use only the best 100 subspaces", Sec. V). 0 means 100, -1 all.
 	MaxSubspaces int
+	// Index pins the neighbor-index backend of an IndexableScorer. KindAuto
+	// (the zero value) leaves the scorer's own configuration untouched.
+	Index neighbors.Kind
 }
 
 // DefaultMaxSubspaces is the paper's budget of ranked projections.
@@ -130,6 +159,12 @@ type Result struct {
 func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
 	if p.Searcher == nil || p.Scorer == nil {
 		return nil, errors.New("ranking: pipeline needs a Searcher and a Scorer")
+	}
+	scorer := p.Scorer
+	if p.Index != neighbors.KindAuto {
+		if ix, ok := scorer.(IndexableScorer); ok {
+			scorer = ix.WithIndex(p.Index)
+		}
 	}
 	subspaces, err := p.Searcher.Search(ds)
 	if err != nil {
@@ -159,9 +194,9 @@ func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
 		}
 	}
 	for _, sc := range subspaces {
-		scores, err := p.Scorer.Score(ds, sc.S)
+		scores, err := scorer.Score(ds, sc.S)
 		if err != nil {
-			return nil, fmt.Errorf("ranking: scoring %v with %s: %w", sc.S, p.Scorer.Name(), err)
+			return nil, fmt.Errorf("ranking: scoring %v with %s: %w", sc.S, scorer.Name(), err)
 		}
 		switch p.Agg {
 		case Max:

@@ -8,6 +8,7 @@ import (
 	"hics/internal/core"
 	"hics/internal/dataset"
 	"hics/internal/eval"
+	"hics/internal/neighbors"
 	"hics/internal/randsub"
 	"hics/internal/subspace"
 	"hics/internal/synth"
@@ -215,5 +216,40 @@ func TestScoresFiniteOrInf(t *testing.T) {
 		if math.IsNaN(s) {
 			t.Fatalf("NaN score at %d", i)
 		}
+	}
+}
+
+// TestPipelineIndexOverride: Pipeline.Index pins the backend of every
+// IndexableScorer, and the pinned backends agree bit for bit.
+func TestPipelineIndexOverride(t *testing.T) {
+	b := benchData(t, 9)
+	for _, scorer := range []Scorer{LOFScorer{MinPts: 10}, KNNScorer{K: 10}} {
+		base := Pipeline{Searcher: FullSpace{}, Scorer: scorer}
+		brute := Pipeline{Searcher: FullSpace{}, Scorer: scorer, Index: neighbors.KindBrute}
+		tree := Pipeline{Searcher: FullSpace{}, Scorer: scorer, Index: neighbors.KindKDTree}
+		rBase, err := base.Rank(b.Data.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rBrute, err := brute.Rank(b.Data.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rTree, err := tree.Rank(b.Data.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rBase.Scores {
+			if rBrute.Scores[i] != rTree.Scores[i] || rBase.Scores[i] != rTree.Scores[i] {
+				t.Fatalf("%s score[%d]: auto %v, brute %v, kdtree %v", scorer.Name(), i,
+					rBase.Scores[i], rBrute.Scores[i], rTree.Scores[i])
+			}
+		}
+	}
+	// WithIndex returns a pinned copy without mutating the receiver.
+	s := LOFScorer{MinPts: 5}
+	pinned := s.WithIndex(neighbors.KindKDTree).(LOFScorer)
+	if pinned.Index != neighbors.KindKDTree || s.Index != neighbors.KindAuto {
+		t.Errorf("WithIndex: pinned %v, original %v", pinned.Index, s.Index)
 	}
 }

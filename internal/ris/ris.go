@@ -22,6 +22,7 @@ import (
 
 	"hics/internal/dataset"
 	"hics/internal/knn"
+	"hics/internal/neighbors"
 	"hics/internal/subspace"
 )
 
@@ -68,7 +69,9 @@ func (p Params) withDefaults() Params {
 // clipped to the unit cube. It returns 0 when no core object exists.
 func Quality(ds *dataset.Dataset, s subspace.Subspace, p Params) (quality float64, coreObjects int, err error) {
 	p = p.withDefaults()
-	searcher, err := knn.New(ds, s)
+	// Pin the brute backend: RIS only range-counts (CountWithin), so a
+	// k-d tree would be built per candidate subspace and never queried.
+	searcher, err := knn.NewWithKind(ds, s, neighbors.KindBrute)
 	if err != nil {
 		return 0, 0, fmt.Errorf("ris: %w", err)
 	}
