@@ -22,6 +22,13 @@ import (
 // full fresh sweep, inflating the run from seconds to many minutes.
 func benchRun(b *testing.B, name string) {
 	b.Helper()
+	if testing.Short() {
+		// Like the experiment regression tests, the multi-second
+		// experiment regenerations are gated out of -short runs (CI's
+		// 1-iteration benchmark smoke); the benchmark bodies still
+		// compile, and plain `go test -bench .` runs them in full.
+		b.Skip("skipping experiment regeneration in -short mode")
+	}
 	fn, ok := experiments.Lookup(name)
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)

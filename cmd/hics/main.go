@@ -9,6 +9,8 @@
 // attributes, and a column named "label"/"outlier" (or the -label flag) is
 // used as ground truth to report the AUC of the ranking. Output is the
 // ranked list of high-contrast subspaces followed by the top outliers.
+// With -save-model the fitted model is additionally persisted for
+// out-of-sample scoring via the hicsd server.
 package main
 
 import (
@@ -18,12 +20,20 @@ import (
 	"sort"
 	"strings"
 
+	"hics"
 	"hics/internal/core"
 	"hics/internal/dataset"
 	"hics/internal/eval"
 	"hics/internal/neighbors"
 	"hics/internal/ranking"
 	"hics/internal/subspace"
+)
+
+// Flag help texts naming the accepted values; tests parse these to verify
+// every advertised name actually parses.
+const (
+	testFlagUsage = "statistical test: welch, ks, mw or cvm"
+	aggFlagUsage  = "aggregation of per-subspace scores: average, max or product"
 )
 
 func main() {
@@ -36,20 +46,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hics", flag.ContinueOnError)
 	var (
-		header  = fs.Bool("header", true, "first CSV row contains attribute names")
-		label   = fs.String("label", "", "name of the ground-truth label column (default: auto-detect 'label'/'outlier'; '-' disables)")
-		test    = fs.String("test", "welch", "statistical test: welch or ks")
-		m       = fs.Int("M", core.DefaultM, "Monte Carlo iterations per subspace")
-		alpha   = fs.Float64("alpha", core.DefaultAlpha, "expected slice size as a fraction of N")
-		cutoff  = fs.Int("cutoff", core.DefaultCutoff, "candidate cutoff per Apriori level")
-		topk    = fs.Int("topk", core.DefaultTopK, "number of high-contrast subspaces to rank in")
-		minPts  = fs.Int("minpts", 10, "LOF MinPts neighborhood size")
-		seed    = fs.Uint64("seed", 0, "random seed")
-		outl    = fs.Int("outliers", 10, "number of top outliers to print")
-		scorer  = fs.String("scorer", "lof", "outlier scorer: lof or knn")
-		aggName = fs.String("agg", "average", "aggregation of per-subspace scores: average or max")
-		index   = fs.String("index", "auto", "neighbor index for the ranking step: auto, kdtree or brute")
-		subOnly = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
+		header    = fs.Bool("header", true, "first CSV row contains attribute names")
+		label     = fs.String("label", "", "name of the ground-truth label column (default: auto-detect 'label'/'outlier'; '-' disables)")
+		test      = fs.String("test", "welch", testFlagUsage)
+		m         = fs.Int("M", core.DefaultM, "Monte Carlo iterations per subspace")
+		alpha     = fs.Float64("alpha", core.DefaultAlpha, "expected slice size as a fraction of N")
+		cutoff    = fs.Int("cutoff", core.DefaultCutoff, "candidate cutoff per Apriori level")
+		topk      = fs.Int("topk", core.DefaultTopK, "number of high-contrast subspaces to rank in")
+		minPts    = fs.Int("minpts", 10, "LOF MinPts neighborhood size")
+		seed      = fs.Uint64("seed", 0, "random seed")
+		outl      = fs.Int("outliers", 10, "number of top outliers to print")
+		scorer    = fs.String("scorer", "lof", "outlier scorer: lof or knn")
+		aggName   = fs.String("agg", "average", aggFlagUsage)
+		index     = fs.String("index", "auto", "neighbor index for the ranking step: auto, kdtree or brute")
+		subOnly   = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
+		saveModel = fs.String("save-model", "", "fit a reusable model and save it to this file (serve it with hicsd)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: hics [flags] <input.csv>")
@@ -84,6 +95,9 @@ func run(args []string) error {
 	searcher := &core.Searcher{Params: params}
 
 	if *subOnly {
+		if *saveModel != "" {
+			return fmt.Errorf("-save-model needs the ranking step; drop -subspaces-only")
+		}
 		subs, err := searcher.Search(ds)
 		if err != nil {
 			return err
@@ -102,18 +116,52 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scorer %q (want lof or knn)", *scorer)
 	}
-	var agg ranking.Aggregation
-	switch *aggName {
-	case "average":
-		agg = ranking.Average
-	case "max":
-		agg = ranking.Max
-	default:
-		return fmt.Errorf("unknown aggregation %q (want average or max)", *aggName)
+	agg, err := ranking.ParseAggregation(*aggName)
+	if err != nil {
+		return err
 	}
 	kind, err := neighbors.ParseKind(*index)
 	if err != nil {
 		return err
+	}
+
+	if *saveModel != "" {
+		// The fit/score split: run the search once, freeze the model,
+		// report the (identical) training ranking, and persist for hicsd.
+		opts := hics.Options{
+			M: *m, Alpha: *alpha, CandidateCutoff: *cutoff, TopK: *topk,
+			Test: *test, Seed: *seed, MinPts: *minPts,
+			UseKNNScore: *scorer == "knn", Aggregation: *aggName,
+			NeighborIndex: *index,
+		}
+		rows := make([][]float64, ds.N())
+		for i := range rows {
+			rows[i] = ds.Row(i, nil)
+		}
+		model, err := hics.Fit(rows, opts)
+		if err != nil {
+			return err
+		}
+		subs := make([]subspace.Scored, len(model.Subspaces()))
+		for i, s := range model.Subspaces() {
+			subs[i] = subspace.Scored{S: subspace.New(s.Dims...), Score: s.Contrast}
+		}
+		fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
+		printSubspaces(ds, subs, 10)
+		reportRanking(l, model.TrainingScores(), *outl, sc.Name(), agg)
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			return err
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nmodel saved to %s (serve with: hicsd -model %s)\n", *saveModel, *saveModel)
+		return nil
 	}
 
 	pipe := ranking.Pipeline{Searcher: searcher, Scorer: sc, Agg: agg, MaxSubspaces: -1, Index: kind}
@@ -124,14 +172,20 @@ func run(args []string) error {
 
 	fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
 	printSubspaces(ds, res.Subspaces, 10)
+	reportRanking(l, res.Scores, *outl, sc.Name(), agg)
+	return nil
+}
 
-	fmt.Printf("\ntop %d outliers (%s scores aggregated by %s):\n", *outl, sc.Name(), agg)
-	order := make([]int, len(res.Scores))
+// reportRanking prints the top outliers and, when labels are available,
+// the AUC of the ranking.
+func reportRanking(l *dataset.Labeled, scores []float64, outl int, scorerName string, agg ranking.Aggregation) {
+	fmt.Printf("\ntop %d outliers (%s scores aggregated by %s):\n", outl, scorerName, agg)
+	order := make([]int, len(scores))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return res.Scores[order[a]] > res.Scores[order[b]] })
-	k := *outl
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	k := outl
 	if k > len(order) {
 		k = len(order)
 	}
@@ -140,16 +194,15 @@ func run(args []string) error {
 		if l.Outlier != nil && l.Outlier[i] {
 			marker = "  <- labeled outlier"
 		}
-		fmt.Printf("%3d. object %5d  score %.4f%s\n", rank+1, i, res.Scores[i], marker)
+		fmt.Printf("%3d. object %5d  score %.4f%s\n", rank+1, i, scores[i], marker)
 	}
 
 	if l.Outlier != nil {
-		auc, err := eval.AUC(res.Scores, l.Outlier)
+		auc, err := eval.AUC(scores, l.Outlier)
 		if err == nil {
 			fmt.Printf("\nAUC vs provided labels: %.4f\n", auc)
 		}
 	}
-	return nil
 }
 
 // printSubspaces lists up to limit scored subspaces with attribute names.

@@ -3,9 +3,14 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
+	"hics"
+	"hics/internal/core"
 	"hics/internal/dataset"
+	"hics/internal/ranking"
 	"hics/internal/synth"
 )
 
@@ -53,6 +58,89 @@ func TestRunKSTest(t *testing.T) {
 	path := writeTestCSV(t)
 	if err := run([]string{"-M", "10", "-test", "ks", "-topk", "5", path}); err != nil {
 		t.Fatalf("run failed: %v", err)
+	}
+}
+
+// TestAdvertisedNamesParse guards the flag help against going stale: every
+// value a usage string advertises must be accepted by the corresponding
+// parser, and the advertised list must be exhaustive.
+func TestAdvertisedNamesParse(t *testing.T) {
+	names := advertisedNames(t, testFlagUsage)
+	if len(names) != 4 {
+		t.Fatalf("-test help advertises %d names %v, parser knows 4", len(names), names)
+	}
+	for _, name := range names {
+		if _, err := core.ParseTest(name); err != nil {
+			t.Errorf("-test help advertises %q, but it does not parse: %v", name, err)
+		}
+	}
+	aggNames := advertisedNames(t, aggFlagUsage)
+	if len(aggNames) != 3 {
+		t.Fatalf("-agg help advertises %d names %v, parser knows 3", len(aggNames), aggNames)
+	}
+	for _, name := range aggNames {
+		if _, err := ranking.ParseAggregation(name); err != nil {
+			t.Errorf("-agg help advertises %q, but it does not parse: %v", name, err)
+		}
+	}
+}
+
+// advertisedNames extracts the value names a "description: a, b or c"
+// usage string advertises.
+func advertisedNames(t *testing.T, usage string) []string {
+	t.Helper()
+	_, list, ok := strings.Cut(usage, ":")
+	if !ok {
+		t.Fatalf("usage string %q has no value list", usage)
+	}
+	var names []string
+	for _, w := range regexp.MustCompile(`\w+`).FindAllString(list, -1) {
+		if w != "or" && w != "and" {
+			names = append(names, w)
+		}
+	}
+	return names
+}
+
+func TestRunAllAdvertisedTests(t *testing.T) {
+	path := writeTestCSV(t)
+	for _, name := range []string{"welch", "ks", "mw", "cvm"} {
+		if err := run([]string{"-M", "5", "-topk", "3", "-test", name, path}); err != nil {
+			t.Errorf("-test %s failed: %v", name, err)
+		}
+	}
+}
+
+func TestRunProductAggregation(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run([]string{"-M", "10", "-agg", "product", path}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunSaveModel(t *testing.T) {
+	path := writeTestCSV(t)
+	modelPath := filepath.Join(t.TempDir(), "model.hics")
+	if err := run([]string{"-M", "10", "-topk", "5", "-save-model", modelPath, path}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := hics.LoadModel(f)
+	if err != nil {
+		t.Fatalf("saved model does not load: %v", err)
+	}
+	if m.D() != 6 {
+		t.Errorf("model D = %d, want 6", m.D())
+	}
+	if _, err := m.Score(make([]float64, 6)); err != nil {
+		t.Errorf("saved model cannot score: %v", err)
+	}
+	if err := run([]string{"-subspaces-only", "-save-model", modelPath, path}); err == nil {
+		t.Error("-save-model with -subspaces-only should fail")
 	}
 }
 

@@ -1,0 +1,94 @@
+// Command hicsd serves a trained HiCS model over HTTP.
+//
+// Usage:
+//
+//	hicsd -model model.hics [-addr :8080]
+//
+// The model file is produced by hics.Model.Save — most conveniently via
+// `hics -save-model model.hics data.csv`. The server loads it once at
+// startup and answers concurrent scoring requests:
+//
+//	GET  /healthz  liveness and model shape
+//	POST /score    {"point": [...]} or {"points": [[...], ...]}
+//
+// Scoring is out-of-sample against the frozen training state — the
+// Monte Carlo subspace search never runs at serving time, so a /score
+// round trip costs a handful of neighbor queries per selected subspace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"hics"
+	"hics/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hicsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hicsd", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "path to a saved model file (required)")
+		addr      = fs.String("addr", ":8080", "listen address")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *modelPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-model is required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hicsd: model %s (%d objects x %d attributes, %d subspaces), listening on %s\n",
+		*modelPath, m.N(), m.D(), len(m.Subspaces()), ln.Addr())
+	srv := &http.Server{
+		Handler: serve.NewHandler(m),
+		// Slow or idle clients must not pin goroutines and descriptors
+		// forever; scoring requests are small and fast, so tight limits
+		// are safe.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.Serve(ln)
+}
+
+// loadModel reads and reassembles a saved model.
+func loadModel(path string) (*hics.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := hics.LoadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hics"
+	"hics/internal/rng"
+)
+
+// writeModel fits a small model and saves it to a temp file.
+func writeModel(t *testing.T) string {
+	t.Helper()
+	r := rng.New(1)
+	rows := make([][]float64, 150)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	m, err := hics.Fit(rows, hics.Options{M: 10, Seed: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.hics")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadModel(t *testing.T) {
+	path := writeModel(t)
+	m, err := loadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D() != 3 || m.N() != 150 {
+		t.Errorf("loaded model D=%d N=%d", m.D(), m.N())
+	}
+	if _, err := loadModel(filepath.Join(t.TempDir(), "missing.hics")); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.hics")
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadModel(bad); err == nil {
+		t.Error("junk file should fail")
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -model should fail")
+	}
+	if err := run([]string{"-model", writeModel(t), "extra"}); err == nil {
+		t.Error("positional arguments should fail")
+	}
+	if err := run([]string{"-model", "/nonexistent/model.hics"}); err == nil {
+		t.Error("missing model file should fail")
+	}
+	// A bad listen address fails after the model loads, before serving.
+	if err := run([]string{"-model", writeModel(t), "-addr", "256.0.0.1:http"}); err == nil {
+		t.Error("bad address should fail")
+	}
+}

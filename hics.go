@@ -14,9 +14,13 @@
 //
 // The package exposes the complete pipeline (Rank), the subspace search
 // alone (SearchSubspaces), and the contrast measure for a single subspace
-// (Contrast). Competitor methods from the paper's evaluation (full-space
-// LOF, PCA+LOF, random subspaces, Enclus, RIS) live in internal packages
-// and are exercised through the cmd/hicsbench experiment harness.
+// (Contrast). For production scoring, Fit runs the expensive subspace
+// search once and returns a reusable Model that scores out-of-sample
+// points (Score, ScoreBatch) and persists to disk (Save, LoadModel); the
+// cmd/hicsd server exposes a trained model over HTTP. Competitor methods
+// from the paper's evaluation (full-space LOF, PCA+LOF, random subspaces,
+// Enclus, RIS) live in internal packages and are exercised through the
+// cmd/hicsbench experiment harness.
 //
 // All entry points accept row-major [][]float64 data; every row is one
 // object, every column one attribute.
@@ -24,6 +28,7 @@ package hics
 
 import (
 	"errors"
+	"fmt"
 
 	"hics/internal/core"
 	"hics/internal/dataset"
@@ -47,7 +52,8 @@ type Options struct {
 	// TopK is the number of high-contrast subspaces kept for the ranking
 	// step (-1 keeps all).
 	TopK int
-	// Test selects the deviation function: "welch" (default) or "ks".
+	// Test selects the deviation function: "welch" (default), "ks",
+	// "mw" (Mann–Whitney U) or "cvm" (Cramér–von Mises).
 	Test string
 	// Seed fixes all Monte Carlo randomness, making results reproducible.
 	Seed uint64
@@ -56,8 +62,16 @@ type Options struct {
 	// UseKNNScore replaces LOF with the average-kNN-distance score, the
 	// cheaper alternative the paper names as future work.
 	UseKNNScore bool
+	// Aggregation selects how per-subspace scores combine: "average"
+	// (default, the paper's choice), "max", or "product" (the
+	// OUTRES-style aggregation). The empty string defers to
+	// MaxAggregation.
+	Aggregation string
 	// MaxAggregation aggregates per-subspace scores with max instead of
 	// the paper's average.
+	//
+	// Deprecated: use Aggregation = "max". Kept for compatibility; it is
+	// an error to combine it with a conflicting Aggregation value.
 	MaxAggregation bool
 	// Workers bounds the number of goroutines evaluating subspace
 	// contrasts; 0 means one per CPU.
@@ -91,6 +105,54 @@ func (o Options) coreParams() (core.Params, error) {
 		p.Test = t
 	}
 	return p, nil
+}
+
+// aggregation resolves the Aggregation string and the legacy
+// MaxAggregation bool into the ranking-level value.
+func (o Options) aggregation() (ranking.Aggregation, error) {
+	if o.Aggregation == "" {
+		if o.MaxAggregation {
+			return ranking.Max, nil
+		}
+		return ranking.Average, nil
+	}
+	agg, err := ranking.ParseAggregation(o.Aggregation)
+	if err != nil {
+		return 0, err
+	}
+	if o.MaxAggregation && agg != ranking.Max {
+		return 0, fmt.Errorf("hics: Aggregation %q conflicts with MaxAggregation", o.Aggregation)
+	}
+	return agg, nil
+}
+
+// pipeline assembles the two-step ranking pipeline Rank and Fit share.
+func (o Options) pipeline() (ranking.Pipeline, error) {
+	p, err := o.coreParams()
+	if err != nil {
+		return ranking.Pipeline{}, err
+	}
+	kind, err := neighbors.ParseKind(o.NeighborIndex)
+	if err != nil {
+		return ranking.Pipeline{}, err
+	}
+	agg, err := o.aggregation()
+	if err != nil {
+		return ranking.Pipeline{}, err
+	}
+	// The scorers are left on their zero-value (auto) index; Pipeline.Index
+	// is the single place the resolved kind is applied.
+	var scorer ranking.Scorer = ranking.LOFScorer{MinPts: o.MinPts}
+	if o.UseKNNScore {
+		scorer = ranking.KNNScorer{K: o.MinPts}
+	}
+	return ranking.Pipeline{
+		Searcher:     &core.Searcher{Params: p},
+		Scorer:       scorer,
+		Agg:          agg,
+		MaxSubspaces: -1, // the searcher already applies TopK
+		Index:        kind,
+	}, nil
 }
 
 // Subspace is one scored projection of the attribute space.
@@ -230,30 +292,9 @@ func Rank(rows [][]float64, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := opts.coreParams()
+	pipe, err := opts.pipeline()
 	if err != nil {
 		return nil, err
-	}
-	kind, err := neighbors.ParseKind(opts.NeighborIndex)
-	if err != nil {
-		return nil, err
-	}
-	// The scorers are left on their zero-value (auto) index; Pipeline.Index
-	// is the single place the resolved kind is applied.
-	var scorer ranking.Scorer = ranking.LOFScorer{MinPts: opts.MinPts}
-	if opts.UseKNNScore {
-		scorer = ranking.KNNScorer{K: opts.MinPts}
-	}
-	agg := ranking.Average
-	if opts.MaxAggregation {
-		agg = ranking.Max
-	}
-	pipe := ranking.Pipeline{
-		Searcher:     &core.Searcher{Params: p},
-		Scorer:       scorer,
-		Agg:          agg,
-		MaxSubspaces: -1, // the searcher already applies TopK
-		Index:        kind,
 	}
 	res, err := pipe.Rank(ds)
 	if err != nil {
@@ -280,4 +321,4 @@ func LOFScores(rows [][]float64, minPts int) ([]float64, error) {
 }
 
 // Version identifies the library release.
-const Version = "1.0.0"
+const Version = "1.1.0"

@@ -244,6 +244,46 @@ func TestTopOutliersMatchesSort(t *testing.T) {
 	}
 }
 
+// TestTopOutliersRandomizedVsSort compares the heap selection against a
+// full stable sort over many random score vectors with heavy duplication,
+// for every k from 0 through past the end.
+func TestTopOutliersRandomizedVsSort(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 60; trial++ {
+		n := r.IntRange(1, 120)
+		distinct := float64(r.IntRange(1, 8)) // few distinct values => many duplicates
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = math.Floor(r.Float64() * distinct)
+		}
+		res := &Result{Scores: scores}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+		for k := 0; k <= n+2; k++ {
+			got := res.TopOutliers(k)
+			wantLen := k
+			if wantLen > n {
+				wantLen = n
+			}
+			if wantLen < 0 {
+				wantLen = 0
+			}
+			if len(got) != wantLen {
+				t.Fatalf("trial %d n=%d k=%d: got %d indices, want %d", trial, n, k, len(got), wantLen)
+			}
+			for i := range got {
+				if got[i] != order[i] {
+					t.Fatalf("trial %d n=%d k=%d rank %d: heap %d (score %v), sort %d (score %v)",
+						trial, n, k, i, got[i], scores[got[i]], order[i], scores[order[i]])
+				}
+			}
+		}
+	}
+}
+
 // TestRankNeighborIndexEquivalence is the acceptance contract at the
 // public-API level: pinning the KD-tree must reproduce the brute-force
 // ranking bit for bit.

@@ -218,6 +218,15 @@ func (e *Evaluator) Contrast(s subspace.Subspace, r *rng.RNG, sc *Scratch) float
 	sum := 0.0
 	for iter := 0; iter < p.M; iter++ {
 		sc.iter++
+		if sc.iter < 0 {
+			// The int32 stamp wrapped around. Old stamp values would
+			// collide with reused counter values and silently corrupt the
+			// conjunction counts, so reset the lazy-clearing state.
+			for i := range sc.stamp {
+				sc.stamp[i] = 0
+			}
+			sc.iter = 1
+		}
 		r.PermInto(perm)
 
 		// Apply |S|−1 conditions; remember the first block to enumerate the

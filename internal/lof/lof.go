@@ -10,11 +10,20 @@
 // internal/neighbors index subsystem; the *With variants pin a backend,
 // the plain variants use automatic selection. Backends are bit-for-bit
 // equivalent, so the choice only affects speed.
+//
+// Beyond the batch scorers the package supports a fit/score split: Fit
+// (resp. FitKNN) freezes the per-subspace state a query needs — the
+// neighbor index plus, for LOF, the training k-distances and local
+// reachability densities — and ScoreQuery scores an out-of-sample point
+// against that state without refitting, following the standard
+// generalization of LOF to query points (the query participates only in
+// its own neighborhood, never in the training statistics).
 package lof
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hics/internal/dataset"
 	"hics/internal/neighbors"
@@ -39,16 +48,45 @@ func Scores(ds *dataset.Dataset, dims []int, minPts int) ([]float64, error) {
 // whose neighborhood has zero reachability distance gets an infinite local
 // reachability density, and ratios ∞/∞ resolve to 1.
 func ScoresWith(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind) ([]float64, error) {
+	_, scores, err := Fit(ds, dims, minPts, kind)
+	return scores, err
+}
+
+// Fitted is the frozen state of a LOF fit on one subspace: the neighbor
+// index over the training objects plus their k-distances and local
+// reachability densities. It scores out-of-sample points via ScoreQuery
+// and is safe for concurrent queries. Training scores are returned by Fit
+// but not retained — query scoring only needs kdist and lrd.
+type Fitted struct {
+	idx    neighbors.Index
+	minPts int
+	kdist  []float64
+	lrd    []float64
+
+	scratch sync.Pool // *queryScratch, per concurrent query
+}
+
+type queryScratch struct {
+	sc   *neighbors.Scratch
+	buf  []neighbors.Neighbor
+	proj []float64
+}
+
+// Fit runs the batch LOF passes on the given subspace and freezes the
+// state an out-of-sample query needs, returning it together with the
+// training LOF scores — bit-for-bit the ScoresWith result (ScoresWith is
+// implemented on top of Fit).
+func Fit(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind) (*Fitted, []float64, error) {
 	if minPts < 1 {
 		minPts = DefaultMinPts
 	}
 	idx, err := neighbors.New(ds, dims, kind)
 	if err != nil {
-		return nil, fmt.Errorf("lof: %w", err)
+		return nil, nil, fmt.Errorf("lof: %w", err)
 	}
 	n := ds.N()
 	if n < 2 {
-		return nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
+		return nil, nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
 	}
 
 	// Pass 1: materialize neighborhoods and k-distances (batched, parallel).
@@ -89,7 +127,98 @@ func ScoresWith(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind
 		}
 		scores[i] = sum / float64(len(neighborhoods[i]))
 	}
-	return scores, nil
+	return newFitted(idx, minPts, kdist, lrd), scores, nil
+}
+
+// NewFitted reassembles a Fitted from persisted state: the (rebuilt)
+// neighbor index plus the stored k-distances and local reachability
+// densities.
+func NewFitted(idx neighbors.Index, minPts int, kdist, lrd []float64) (*Fitted, error) {
+	if minPts < 1 {
+		return nil, fmt.Errorf("lof: fitted state needs minPts >= 1, got %d", minPts)
+	}
+	if len(kdist) != idx.N() || len(lrd) != idx.N() {
+		return nil, fmt.Errorf("lof: fitted state for %d objects has %d k-distances and %d lrd values",
+			idx.N(), len(kdist), len(lrd))
+	}
+	return newFitted(idx, minPts, kdist, lrd), nil
+}
+
+func newFitted(idx neighbors.Index, minPts int, kdist, lrd []float64) *Fitted {
+	f := &Fitted{idx: idx, minPts: minPts, kdist: kdist, lrd: lrd}
+	f.scratch.New = func() any { return &queryScratch{sc: idx.NewScratch()} }
+	return f
+}
+
+// MinPts returns the effective neighborhood size of the fit.
+func (f *Fitted) MinPts() int { return f.minPts }
+
+// Kind reports the resolved neighbor-index backend of the fit.
+func (f *Fitted) Kind() neighbors.Kind { return f.idx.Kind() }
+
+// N returns the number of training objects.
+func (f *Fitted) N() int { return f.idx.N() }
+
+// KDist returns the training k-distances (shared slice, read-only).
+func (f *Fitted) KDist() []float64 { return f.kdist }
+
+// LRD returns the training local reachability densities (shared slice,
+// read-only).
+func (f *Fitted) LRD() []float64 { return f.lrd }
+
+// ScoreQuery computes the LOF of an out-of-sample point q (given in
+// subspace coordinates, one value per fitted dimension) against the
+// training state: the query's neighborhood is found among the training
+// objects, its reachability distances use the frozen training k-distances,
+// and the score is the mean ratio of neighbor lrd to the query's own lrd —
+// exactly the batch formula with the query as an extra, non-indexed
+// object. Safe for concurrent use.
+func (f *Fitted) ScoreQuery(q []float64) float64 {
+	s := f.scratch.Get().(*queryScratch)
+	defer f.scratch.Put(s)
+	return f.scoreQuery(q, s)
+}
+
+// ScoreQueryAt is ScoreQuery for a full-space point, projected onto dims
+// into pooled scratch — the allocation-free form for serving hot paths.
+func (f *Fitted) ScoreQueryAt(full []float64, dims []int) float64 {
+	s := f.scratch.Get().(*queryScratch)
+	defer f.scratch.Put(s)
+	proj := s.proj[:0]
+	for _, d := range dims {
+		proj = append(proj, full[d])
+	}
+	s.proj = proj
+	return f.scoreQuery(proj, s)
+}
+
+func (f *Fitted) scoreQuery(q []float64, s *queryScratch) float64 {
+	nb, _ := f.idx.KNNPoint(q, f.minPts, s.sc, s.buf[:0])
+	s.buf = nb
+	if len(nb) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range nb {
+		reach := x.Dist
+		if f.kdist[x.ID] > reach {
+			reach = f.kdist[x.ID]
+		}
+		sum += reach
+	}
+	lrdq := math.Inf(1)
+	if sum != 0 {
+		lrdq = float64(len(nb)) / sum
+	}
+	total := 0.0
+	for _, x := range nb {
+		r := f.lrd[x.ID] / lrdq
+		if math.IsInf(f.lrd[x.ID], 1) && math.IsInf(lrdq, 1) {
+			r = 1
+		}
+		total += r
+	}
+	return total / float64(len(nb))
 }
 
 // KNNScores computes the average-kNN-distance score with the automatically
@@ -103,16 +232,34 @@ func KNNScores(ds *dataset.Dataset, dims []int, k int) ([]float64, error) {
 // that is monotone in "outlierness" like LOF but cheaper and non-local —
 // using the requested neighbor-index backend.
 func KNNScoresWith(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) ([]float64, error) {
+	_, scores, err := FitKNN(ds, dims, k, kind)
+	return scores, err
+}
+
+// FittedKNN is the frozen state of an average-kNN-distance fit on one
+// subspace. Unlike LOF the score needs no per-object training statistics —
+// the neighbor index alone answers queries. Safe for concurrent queries.
+type FittedKNN struct {
+	idx neighbors.Index
+	k   int
+
+	scratch sync.Pool // *queryScratch
+}
+
+// FitKNN freezes the neighbor index for out-of-sample queries and returns
+// it together with the batch average-kNN-distance training scores —
+// bit-for-bit the KNNScoresWith result.
+func FitKNN(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) (*FittedKNN, []float64, error) {
 	if k < 1 {
 		k = DefaultMinPts
 	}
 	idx, err := neighbors.New(ds, dims, kind)
 	if err != nil {
-		return nil, fmt.Errorf("lof: %w", err)
+		return nil, nil, fmt.Errorf("lof: %w", err)
 	}
 	n := ds.N()
 	if n < 2 {
-		return nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
+		return nil, nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
 	}
 	neighborhoods, _ := idx.KNNAll(k)
 	scores := make([]float64, n)
@@ -126,5 +273,63 @@ func KNNScoresWith(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) 
 		}
 		scores[i] = sum / float64(len(nb))
 	}
-	return scores, nil
+	return newFittedKNN(idx, k), scores, nil
+}
+
+// NewFittedKNN reassembles a FittedKNN from persisted state.
+func NewFittedKNN(idx neighbors.Index, k int) (*FittedKNN, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lof: fitted state needs k >= 1, got %d", k)
+	}
+	return newFittedKNN(idx, k), nil
+}
+
+func newFittedKNN(idx neighbors.Index, k int) *FittedKNN {
+	f := &FittedKNN{idx: idx, k: k}
+	f.scratch.New = func() any { return &queryScratch{sc: idx.NewScratch()} }
+	return f
+}
+
+// K returns the effective neighborhood size of the fit.
+func (f *FittedKNN) K() int { return f.k }
+
+// Kind reports the resolved neighbor-index backend of the fit.
+func (f *FittedKNN) Kind() neighbors.Kind { return f.idx.Kind() }
+
+// N returns the number of training objects.
+func (f *FittedKNN) N() int { return f.idx.N() }
+
+// ScoreQuery computes the average distance from the out-of-sample point q
+// (in subspace coordinates) to its k nearest training objects. Safe for
+// concurrent use.
+func (f *FittedKNN) ScoreQuery(q []float64) float64 {
+	s := f.scratch.Get().(*queryScratch)
+	defer f.scratch.Put(s)
+	return f.scoreQuery(q, s)
+}
+
+// ScoreQueryAt is ScoreQuery for a full-space point, projected onto dims
+// into pooled scratch.
+func (f *FittedKNN) ScoreQueryAt(full []float64, dims []int) float64 {
+	s := f.scratch.Get().(*queryScratch)
+	defer f.scratch.Put(s)
+	proj := s.proj[:0]
+	for _, d := range dims {
+		proj = append(proj, full[d])
+	}
+	s.proj = proj
+	return f.scoreQuery(proj, s)
+}
+
+func (f *FittedKNN) scoreQuery(q []float64, s *queryScratch) float64 {
+	nb, _ := f.idx.KNNPoint(q, f.k, s.sc, s.buf[:0])
+	s.buf = nb
+	if len(nb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range nb {
+		sum += x.Dist
+	}
+	return sum / float64(len(nb))
 }

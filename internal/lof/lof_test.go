@@ -2,6 +2,7 @@ package lof
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -286,6 +287,159 @@ func TestKNNScoresIndexEquivalence(t *testing.T) {
 	for i := range brute {
 		if brute[i] != tree[i] {
 			t.Fatalf("kNN score[%d] brute %v != kdtree %v", i, brute[i], tree[i])
+		}
+	}
+}
+
+func TestFitScoresMatchBatch(t *testing.T) {
+	ds := clusterWithOutlier(7, 120)
+	for _, kind := range []neighbors.Kind{neighbors.KindBrute, neighbors.KindKDTree} {
+		batch, err := ScoresWith(ds, []int{0, 1}, 10, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, scores, err := Fit(ds, []int{0, 1}, 10, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			if scores[i] != batch[i] {
+				t.Fatalf("%v: Fit score[%d] = %v, batch = %v", kind, i, scores[i], batch[i])
+			}
+		}
+		if f.MinPts() != 10 || f.N() != ds.N() {
+			t.Errorf("%v: fitted state MinPts=%d N=%d", kind, f.MinPts(), f.N())
+		}
+	}
+}
+
+func TestScoreQueryFlagsOutlierPoint(t *testing.T) {
+	ds := clusterWithOutlier(8, 100)
+	f, _, err := Fit(ds, []int{0, 1}, 10, neighbors.KindAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := f.ScoreQuery([]float64{8, -8})
+	center := f.ScoreQuery([]float64{0, 0})
+	if far <= center {
+		t.Errorf("far query LOF %v <= central query LOF %v", far, center)
+	}
+	if center < 0.5 || center > 1.5 {
+		t.Errorf("central query LOF = %v, want ~1", center)
+	}
+	if far < 2 {
+		t.Errorf("far query LOF = %v, want clearly outlying", far)
+	}
+}
+
+// TestScoreQueryIndexEquivalence extends the backend contract to
+// out-of-sample scoring: queries against a brute-backed and a tree-backed
+// fit must agree bit for bit.
+func TestScoreQueryIndexEquivalence(t *testing.T) {
+	ds := clusterWithOutlier(9, 400)
+	brute, _, err := Fit(ds, []int{0, 1}, 10, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _, err := Fit(ds, []int{0, 1}, 10, neighbors.KindKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bruteK, _, err := FitKNN(ds, []int{0, 1}, 10, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeK, _, err := FitKNN(ds, []int{0, 1}, 10, neighbors.KindKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	for trial := 0; trial < 300; trial++ {
+		q := []float64{r.Float64()*12 - 6, r.Float64()*12 - 6}
+		if a, b := brute.ScoreQuery(q), tree.ScoreQuery(q); a != b {
+			t.Fatalf("LOF query %v: brute %v != kdtree %v", q, a, b)
+		}
+		if a, b := bruteK.ScoreQuery(q), treeK.ScoreQuery(q); a != b {
+			t.Fatalf("kNN query %v: brute %v != kdtree %v", q, a, b)
+		}
+	}
+}
+
+// TestScoreQueryConcurrent exercises the per-query scratch pool under the
+// race detector.
+func TestScoreQueryConcurrent(t *testing.T) {
+	ds := clusterWithOutlier(10, 200)
+	f, _, err := Fit(ds, []int{0, 1}, 10, neighbors.KindKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.ScoreQuery([]float64{1, 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w))
+			for i := 0; i < 200; i++ {
+				f.ScoreQuery([]float64{r.Float64(), r.Float64()})
+				if got := f.ScoreQuery([]float64{1, 1}); got != want {
+					t.Errorf("concurrent ScoreQuery = %v, want %v", got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFitKNNMatchesBatchAndQueries(t *testing.T) {
+	ds := clusterWithOutlier(11, 90)
+	batch, err := KNNScoresWith(ds, []int{0, 1}, 10, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, scores, err := FitKNN(ds, []int{0, 1}, 10, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if scores[i] != batch[i] {
+			t.Fatalf("FitKNN score[%d] = %v, batch = %v", i, scores[i], batch[i])
+		}
+	}
+	if far, near := f.ScoreQuery([]float64{9, 9}), f.ScoreQuery([]float64{0, 0}); far <= near {
+		t.Errorf("far kNN query %v <= near query %v", far, near)
+	}
+}
+
+func TestNewFittedValidation(t *testing.T) {
+	ds := clusterWithOutlier(12, 20)
+	idx, err := neighbors.New(ds, []int{0, 1}, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := idx.N()
+	if _, err := NewFitted(idx, 0, make([]float64, n), make([]float64, n)); err == nil {
+		t.Error("minPts<1 should fail")
+	}
+	if _, err := NewFitted(idx, 5, make([]float64, n-1), make([]float64, n)); err == nil {
+		t.Error("short kdist should fail")
+	}
+	if _, err := NewFittedKNN(idx, 0); err == nil {
+		t.Error("k<1 should fail")
+	}
+	// A correctly reassembled state answers queries like the original fit.
+	orig, _, err := Fit(ds, []int{0, 1}, 5, neighbors.KindBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewFitted(idx, 5, orig.KDist(), orig.LRD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]float64{{0, 0}, {3, -2}, {7, 7}} {
+		if a, b := orig.ScoreQuery(q), rebuilt.ScoreQuery(q); a != b {
+			t.Fatalf("rebuilt ScoreQuery(%v) = %v, original = %v", q, b, a)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package neighbors
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Brute is the linear-scan backend: every query computes all N distances
 // column by column (cache-friendly over the columnar dataset layout) and
@@ -24,6 +27,7 @@ func (b *Brute) NewScratch() *Scratch {
 	return &Scratch{
 		dists: make([]float64, b.n),
 		sel:   make([]float64, 0, b.n),
+		qv:    make([]float64, 0, len(b.cols)),
 	}
 }
 
@@ -35,19 +39,47 @@ func (b *Brute) KNN(q, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64)
 	if k <= 0 {
 		return out[:0], 0
 	}
-	// All squared distances from q, accumulated per column.
+	qv := sc.qv[:0]
+	for _, col := range b.cols {
+		qv = append(qv, col[q])
+	}
+	sc.qv = qv
+	return b.scan(q, k, sc, out)
+}
+
+// KNNPoint implements Index.
+func (b *Brute) KNNPoint(q []float64, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64) {
+	if len(q) != len(b.cols) {
+		panic(fmt.Sprintf("neighbors: query point has %d coordinates, index has %d", len(q), len(b.cols)))
+	}
+	if k > b.n {
+		k = b.n
+	}
+	if k <= 0 {
+		return out[:0], 0
+	}
+	sc.qv = append(sc.qv[:0], q...)
+	return b.scan(-1, k, sc, out)
+}
+
+// scan answers the query point held in sc.qv, skipping object exclude
+// (-1 for out-of-sample point queries): all squared distances accumulated
+// per column, cut at the k-th smallest via quickselect.
+func (b *Brute) scan(exclude, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64) {
 	dists := sc.dists
 	for i := range dists {
 		dists[i] = 0
 	}
-	for _, col := range b.cols {
-		cq := col[q]
+	for c, col := range b.cols {
+		cq := sc.qv[c]
 		for i, v := range col {
 			d := v - cq
 			dists[i] += d * d
 		}
 	}
-	dists[q] = math.Inf(1) // exclude the query itself
+	if exclude >= 0 {
+		dists[exclude] = math.Inf(1) // the query itself is not a neighbor
+	}
 
 	// k-th smallest squared distance via quickselect on a copy.
 	sel := append(sc.sel[:0], dists...)
@@ -55,7 +87,7 @@ func (b *Brute) KNN(q, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64)
 
 	neighbors := out[:0]
 	for i, d := range dists {
-		if d <= kth && i != q {
+		if d <= kth && i != exclude {
 			neighbors = append(neighbors, Neighbor{ID: i, Dist: math.Sqrt(d)})
 		}
 	}

@@ -1,6 +1,7 @@
 package neighbors
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -87,11 +88,33 @@ func (t *KDTree) KNN(q, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64
 		qv = append(qv, col[q])
 	}
 	sc.qv = qv
+	return t.knnQuery(q, k, sc, out)
+}
+
+// KNNPoint implements Index.
+func (t *KDTree) KNNPoint(q []float64, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64) {
+	if len(q) != len(t.cols) {
+		panic(fmt.Sprintf("neighbors: query point has %d coordinates, index has %d", len(q), len(t.cols)))
+	}
+	if k > t.n {
+		k = t.n
+	}
+	if k <= 0 {
+		return out[:0], 0
+	}
+	sc.qv = append(sc.qv[:0], q...)
+	return t.knnQuery(-1, k, sc, out)
+}
+
+// knnQuery answers the query point held in sc.qv, skipping object exclude
+// (-1 for out-of-sample point queries, where no indexed object is the
+// query itself).
+func (t *KDTree) knnQuery(exclude, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64) {
 	sc.bound = sc.bound[:0]
-	t.searchBound(0, t.n, 0, q, k, sc)
+	t.searchBound(0, t.n, 0, exclude, k, sc)
 	tau := sc.bound[0] // k-th smallest squared distance
 	sc.cand = sc.cand[:0]
-	t.collect(0, t.n, 0, q, tau, sc)
+	t.collect(0, t.n, 0, exclude, tau, sc)
 	sort.Slice(sc.cand, func(a, b int) bool { return sc.cand[a].id < sc.cand[b].id })
 	neighbors := out[:0]
 	for _, c := range sc.cand {
@@ -104,14 +127,14 @@ func (t *KDTree) KNN(q, k int, sc *Scratch, out []Neighbor) ([]Neighbor, float64
 func (t *KDTree) KNNAll(k int) ([][]Neighbor, []float64) { return knnAll(t, k) }
 
 // searchBound fills sc.bound with the k smallest squared distances from
-// the query to objects other than q, visiting near subtrees first.
-func (t *KDTree) searchBound(lo, hi, depth, q, k int, sc *Scratch) {
+// the query to objects other than exclude, visiting near subtrees first.
+func (t *KDTree) searchBound(lo, hi, depth, exclude, k int, sc *Scratch) {
 	if lo >= hi {
 		return
 	}
 	mid := (lo + hi) / 2
 	id := t.ids[mid]
-	if id != q {
+	if id != exclude {
 		sc.bound = boundPush(sc.bound, k, t.d2(sc.qv, id))
 	}
 	axis := depth % len(t.cols)
@@ -120,20 +143,20 @@ func (t *KDTree) searchBound(lo, hi, depth, q, k int, sc *Scratch) {
 	if diff < 0 {
 		nearLo, nearHi, farLo, farHi = lo, mid, mid+1, hi
 	}
-	t.searchBound(nearLo, nearHi, depth+1, q, k, sc)
+	t.searchBound(nearLo, nearHi, depth+1, exclude, k, sc)
 	if len(sc.bound) < k || diff*diff <= sc.bound[0] {
-		t.searchBound(farLo, farHi, depth+1, q, k, sc)
+		t.searchBound(farLo, farHi, depth+1, exclude, k, sc)
 	}
 }
 
-// collect appends every object (except q) with squared distance ≤ tau.
-func (t *KDTree) collect(lo, hi, depth, q int, tau float64, sc *Scratch) {
+// collect appends every object (except exclude) with squared distance ≤ tau.
+func (t *KDTree) collect(lo, hi, depth, exclude int, tau float64, sc *Scratch) {
 	if lo >= hi {
 		return
 	}
 	mid := (lo + hi) / 2
 	id := t.ids[mid]
-	if id != q {
+	if id != exclude {
 		if d2 := t.d2(sc.qv, id); d2 <= tau {
 			sc.cand = append(sc.cand, candidate{id: id, d2: d2})
 		}
@@ -144,9 +167,9 @@ func (t *KDTree) collect(lo, hi, depth, q int, tau float64, sc *Scratch) {
 	if diff < 0 {
 		nearLo, nearHi, farLo, farHi = lo, mid, mid+1, hi
 	}
-	t.collect(nearLo, nearHi, depth+1, q, tau, sc)
+	t.collect(nearLo, nearHi, depth+1, exclude, tau, sc)
 	if diff*diff <= tau {
-		t.collect(farLo, farHi, depth+1, q, tau, sc)
+		t.collect(farLo, farHi, depth+1, exclude, tau, sc)
 	}
 }
 

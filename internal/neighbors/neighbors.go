@@ -108,6 +108,14 @@ type Index interface {
 	// Neighbors are returned in ascending object-id order (deterministic).
 	// k is clamped to N−1; k ≤ 0 yields an empty neighborhood.
 	KNN(q, k int, sc *Scratch, out []Neighbor) (neighbors []Neighbor, kdist float64)
+	// KNNPoint answers the same query for an out-of-sample point q, given
+	// as one coordinate per subspace column (len(q) must equal the number
+	// of indexed dimensions). No object is excluded — a query coinciding
+	// with an indexed object reports that object at distance zero. As with
+	// KNN, ties may yield more than k neighbors, results are in ascending
+	// object-id order, and all backends are bit-for-bit equivalent.
+	// k is clamped to N; k ≤ 0 yields an empty neighborhood.
+	KNNPoint(q []float64, k int, sc *Scratch, out []Neighbor) (neighbors []Neighbor, kdist float64)
 	// KNNAll answers KNN for every object, parallelized over the CPUs.
 	// nbs[q] and kdists[q] are what KNN(q, k, ...) would return.
 	KNNAll(k int) (nbs [][]Neighbor, kdists []float64)
@@ -118,7 +126,7 @@ type Index interface {
 type Scratch struct {
 	dists []float64 // brute: all squared distances from the query
 	sel   []float64 // brute: quickselect working copy
-	qv    []float64 // kdtree: query point, one value per subspace column
+	qv    []float64 // query point, one value per subspace column
 	bound []float64 // kdtree: max-heap of the k smallest squared distances
 	cand  []candidate
 }

@@ -152,6 +152,141 @@ func TestKDTreeMatchesBruteBitForBit(t *testing.T) {
 	}
 }
 
+// TestKNNPointMatchesBruteBitForBit extends the backend contract to
+// out-of-sample queries: for random query points (and for training points
+// replayed as point queries), both backends must return the identical
+// neighbor set, distances and k-distance.
+func TestKNNPointMatchesBruteBitForBit(t *testing.T) {
+	configs := []struct {
+		seed  uint64
+		n, d  int
+		quant float64
+	}{
+		{21, 50, 1, 0},
+		{22, 200, 2, 0},
+		{23, 500, 3, 0},
+		{24, 300, 2, 4}, // quantized: many exact duplicates and ties
+		{25, 120, 5, 0},
+	}
+	for _, cfg := range configs {
+		ds := randomDataset(cfg.seed, cfg.n, cfg.d, cfg.quant)
+		dims := allDims(cfg.d)
+		brute, err := New(ds, dims, KindBrute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := New(ds, dims, KindKDTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scB, scT := brute.NewScratch(), tree.NewScratch()
+		r := rng.New(cfg.seed + 1000)
+		check := func(q []float64, k int) {
+			t.Helper()
+			nbB, kdB := brute.KNNPoint(q, k, scB, nil)
+			nbT, kdT := tree.KNNPoint(q, k, scT, nil)
+			if kdB != kdT {
+				t.Fatalf("n=%d d=%d k=%d q=%v: kdist brute %v != kdtree %v",
+					cfg.n, cfg.d, k, q, kdB, kdT)
+			}
+			if len(nbB) != len(nbT) {
+				t.Fatalf("n=%d d=%d k=%d q=%v: %d neighbors brute vs %d kdtree",
+					cfg.n, cfg.d, k, q, len(nbB), len(nbT))
+			}
+			for i := range nbB {
+				if nbB[i] != nbT[i] {
+					t.Fatalf("n=%d d=%d k=%d q=%v: neighbor %d brute %v != kdtree %v",
+						cfg.n, cfg.d, k, q, i, nbB[i], nbT[i])
+				}
+			}
+		}
+		for _, k := range []int{1, 3, 10, cfg.n, cfg.n + 5} {
+			// Random out-of-sample points.
+			for trial := 0; trial < 60; trial++ {
+				q := make([]float64, cfg.d)
+				for j := range q {
+					q[j] = r.Float64()*1.4 - 0.2
+					if cfg.quant > 0 && r.Float64() < 0.5 {
+						q[j] = math.Floor(q[j]*cfg.quant) / cfg.quant
+					}
+				}
+				check(q, k)
+			}
+			// Training rows as point queries (self at distance zero).
+			for trial := 0; trial < 30; trial++ {
+				check(ds.Row(r.Intn(cfg.n), nil), k)
+			}
+		}
+	}
+}
+
+// TestKNNPointSelfMatch pins the no-exclusion semantics: querying with a
+// training row's coordinates reports that row at distance zero.
+func TestKNNPointSelfMatch(t *testing.T) {
+	ds := randomDataset(31, 100, 2, 0)
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(ds, []int{0, 1}, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := ix.NewScratch()
+		for q := 0; q < ds.N(); q += 7 {
+			nb, _ := ix.KNNPoint(ds.Row(q, nil), 3, sc, nil)
+			found := false
+			for _, x := range nb {
+				if x.ID == q && x.Dist == 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v: point query at row %d did not report the row itself at distance 0: %v", kind, q, nb)
+			}
+		}
+	}
+}
+
+func TestKNNPointEdgeCases(t *testing.T) {
+	ds := randomDataset(32, 5, 2, 0)
+	q := []float64{0.5, 0.5}
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(ds, []int{0, 1}, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := ix.NewScratch()
+		if nb, kd := ix.KNNPoint(q, 0, sc, nil); len(nb) != 0 || kd != 0 {
+			t.Errorf("%v: k=0 gave %v, %v", kind, nb, kd)
+		}
+		if nb, kd := ix.KNNPoint(q, -3, sc, nil); len(nb) != 0 || kd != 0 {
+			t.Errorf("%v: k<0 gave %v, %v", kind, nb, kd)
+		}
+		// k beyond N clamps to N — all 5 objects, not N−1 as for KNN.
+		if nb, _ := ix.KNNPoint(q, 100, sc, nil); len(nb) != 5 {
+			t.Errorf("%v: k clamp gave %d neighbors, want 5", kind, len(nb))
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: dimension mismatch should panic", kind)
+				}
+			}()
+			ix.KNNPoint([]float64{1}, 1, sc, nil)
+		}()
+	}
+	// A singleton index answers point queries with its one object.
+	one := dataset.MustNew(nil, [][]float64{{1}, {2}})
+	for _, kind := range []Kind{KindBrute, KindKDTree} {
+		ix, err := New(one, []int{0, 1}, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, kd := ix.KNNPoint([]float64{1, 2}, 1, ix.NewScratch(), nil)
+		if len(nb) != 1 || nb[0].ID != 0 || nb[0].Dist != 0 || kd != 0 {
+			t.Errorf("%v: singleton point query gave %v, %v", kind, nb, kd)
+		}
+	}
+}
+
 func TestKNNAllMatchesKNN(t *testing.T) {
 	ds := randomDataset(7, 150, 3, 0)
 	dims := allDims(3)

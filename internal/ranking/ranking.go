@@ -13,6 +13,7 @@ package ranking
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"hics/internal/dataset"
 	"hics/internal/lof"
@@ -91,6 +92,83 @@ func (s KNNScorer) WithIndex(kind neighbors.Kind) Scorer {
 	return s
 }
 
+// FittedScorer is the frozen step-2 state for one subspace: it scores
+// out-of-sample points without refitting. Implementations are safe for
+// concurrent ScorePoint calls.
+type FittedScorer interface {
+	// Dims returns the subspace the scorer was fitted on.
+	Dims() []int
+	// ScorePoint scores a full-space point, projecting it onto the fitted
+	// subspace internally.
+	ScorePoint(full []float64) float64
+}
+
+// FitScorer is implemented by scorers that support the fit/score split.
+type FitScorer interface {
+	Scorer
+	// Fit freezes the scorer's state on one subspace and returns the
+	// training objects' batch scores (bit-for-bit what Score returns).
+	// The scores are not retained by the fitted state — the caller folds
+	// them into its aggregate and drops them.
+	Fit(ds *dataset.Dataset, dims []int) (FittedScorer, []float64, error)
+}
+
+// FittedLOFScorer is the fitted form of LOFScorer. The exported fields
+// allow model persistence layers to disassemble and reassemble the state.
+type FittedLOFScorer struct {
+	// Subspace is the fitted projection (ascending attribute indices).
+	Subspace []int
+	// State is the frozen LOF state on that projection.
+	State *lof.Fitted
+}
+
+// Dims implements FittedScorer.
+func (f *FittedLOFScorer) Dims() []int { return f.Subspace }
+
+// ScorePoint implements FittedScorer.
+func (f *FittedLOFScorer) ScorePoint(full []float64) float64 {
+	return f.State.ScoreQueryAt(full, f.Subspace)
+}
+
+// Fit implements FitScorer.
+func (s LOFScorer) Fit(ds *dataset.Dataset, dims []int) (FittedScorer, []float64, error) {
+	st, scores, err := lof.Fit(ds, dims, s.MinPts, s.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FittedLOFScorer{Subspace: append([]int(nil), dims...), State: st}, scores, nil
+}
+
+// FittedKNNScorer is the fitted form of KNNScorer.
+type FittedKNNScorer struct {
+	// Subspace is the fitted projection (ascending attribute indices).
+	Subspace []int
+	// State is the frozen kNN-distance state on that projection.
+	State *lof.FittedKNN
+}
+
+// Dims implements FittedScorer.
+func (f *FittedKNNScorer) Dims() []int { return f.Subspace }
+
+// ScorePoint implements FittedScorer.
+func (f *FittedKNNScorer) ScorePoint(full []float64) float64 {
+	return f.State.ScoreQueryAt(full, f.Subspace)
+}
+
+// Fit implements FitScorer.
+func (s KNNScorer) Fit(ds *dataset.Dataset, dims []int) (FittedScorer, []float64, error) {
+	st, scores, err := lof.FitKNN(ds, dims, s.K, s.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FittedKNNScorer{Subspace: append([]int(nil), dims...), State: st}, scores, nil
+}
+
+var (
+	_ FitScorer = LOFScorer{}
+	_ FitScorer = KNNScorer{}
+)
+
 // Aggregation selects how per-subspace scores combine (Sec. IV-C).
 type Aggregation int
 
@@ -114,6 +192,106 @@ func (a Aggregation) String() string {
 		return "product"
 	default:
 		return "average"
+	}
+}
+
+// ParseAggregation parses a user-facing aggregation name. The empty string
+// means the paper's default, average.
+func ParseAggregation(s string) (Aggregation, error) {
+	switch s {
+	case "", "average", "avg", "mean":
+		return Average, nil
+	case "max":
+		return Max, nil
+	case "product", "prod":
+		return Product, nil
+	}
+	return Average, fmt.Errorf("ranking: unknown aggregation %q (want average, max or product)", s)
+}
+
+// accumulator folds per-subspace score slices into the final per-object
+// scores one slice at a time (O(N) memory however many subspaces
+// contribute). The element-wise operation sequence is fixed by the fold
+// order alone, so batch scoring (Rank) and fitted scoring (Fit) produce
+// bit-for-bit identical aggregates.
+type accumulator struct {
+	a      Aggregation
+	vals   []float64
+	folded int
+}
+
+func newAccumulator(a Aggregation, n int) *accumulator {
+	vals := make([]float64, n)
+	switch a {
+	case Max:
+		for i := range vals {
+			vals[i] = -1
+		}
+	case Product:
+		for i := range vals {
+			vals[i] = 1
+		}
+	}
+	return &accumulator{a: a, vals: vals}
+}
+
+// fold absorbs one subspace's scores.
+func (ac *accumulator) fold(scores []float64) {
+	ac.folded++
+	switch ac.a {
+	case Max:
+		for i, v := range scores {
+			if v > ac.vals[i] {
+				ac.vals[i] = v
+			}
+		}
+	case Product:
+		for i, v := range scores {
+			ac.vals[i] *= 1 + v
+		}
+	default:
+		for i, v := range scores {
+			ac.vals[i] += v
+		}
+	}
+}
+
+// finish finalizes and returns the aggregate; the accumulator must not be
+// used afterwards.
+func (ac *accumulator) finish() []float64 {
+	if ac.a == Average {
+		inv := 1 / float64(ac.folded)
+		for i := range ac.vals {
+			ac.vals[i] *= inv
+		}
+	}
+	return ac.vals
+}
+
+// aggregatePoint is the accumulator fold for a single object's
+// per-subspace scores, with the same operation sequence.
+func aggregatePoint(a Aggregation, vals []float64) float64 {
+	switch a {
+	case Max:
+		agg := -1.0
+		for _, v := range vals {
+			if v > agg {
+				agg = v
+			}
+		}
+		return agg
+	case Product:
+		agg := 1.0
+		for _, v := range vals {
+			agg *= 1 + v
+		}
+		return agg
+	default:
+		agg := 0.0
+		for _, v := range vals {
+			agg += v
+		}
+		return agg * (1 / float64(len(vals)))
 	}
 }
 
@@ -155,10 +333,12 @@ type Result struct {
 	Subspaces []subspace.Scored
 }
 
-// Rank runs the two-step pipeline on ds.
-func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
+// resolve validates the pipeline wiring, applies the index pin and the
+// subspace budget, and runs the search step — the shared preamble of Rank
+// and Fit.
+func (p Pipeline) resolve(ds *dataset.Dataset) (Scorer, []subspace.Scored, error) {
 	if p.Searcher == nil || p.Scorer == nil {
-		return nil, errors.New("ranking: pipeline needs a Searcher and a Scorer")
+		return nil, nil, errors.New("ranking: pipeline needs a Searcher and a Scorer")
 	}
 	scorer := p.Scorer
 	if p.Index != neighbors.KindAuto {
@@ -168,7 +348,7 @@ func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
 	}
 	subspaces, err := p.Searcher.Search(ds)
 	if err != nil {
-		return nil, fmt.Errorf("ranking: subspace search (%s): %w", p.Searcher.Name(), err)
+		return nil, nil, fmt.Errorf("ranking: subspace search (%s): %w", p.Searcher.Name(), err)
 	}
 	limit := p.MaxSubspaces
 	if limit == 0 {
@@ -178,50 +358,107 @@ func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
 		subspaces = subspaces[:limit]
 	}
 	if len(subspaces) == 0 {
-		return nil, fmt.Errorf("ranking: searcher %s selected no subspaces", p.Searcher.Name())
+		return nil, nil, fmt.Errorf("ranking: searcher %s selected no subspaces", p.Searcher.Name())
 	}
+	return scorer, subspaces, nil
+}
 
-	n := ds.N()
-	agg := make([]float64, n)
-	switch p.Agg {
-	case Max:
-		for i := range agg {
-			agg[i] = -1
-		}
-	case Product:
-		for i := range agg {
-			agg[i] = 1
-		}
+// Rank runs the two-step pipeline on ds. Per-subspace scores are folded
+// into the aggregate as they are produced, so only one score slice is
+// alive at a time.
+func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
+	scorer, subspaces, err := p.resolve(ds)
+	if err != nil {
+		return nil, err
 	}
+	acc := newAccumulator(p.Agg, ds.N())
 	for _, sc := range subspaces {
 		scores, err := scorer.Score(ds, sc.S)
 		if err != nil {
 			return nil, fmt.Errorf("ranking: scoring %v with %s: %w", sc.S, scorer.Name(), err)
 		}
-		switch p.Agg {
-		case Max:
-			for i, v := range scores {
-				if v > agg[i] {
-					agg[i] = v
-				}
-			}
-		case Product:
-			for i, v := range scores {
-				agg[i] *= 1 + v
-			}
-		default:
-			for i, v := range scores {
-				agg[i] += v
-			}
-		}
+		acc.fold(scores)
 	}
-	if p.Agg == Average {
-		inv := 1 / float64(len(subspaces))
-		for i := range agg {
-			agg[i] *= inv
-		}
+	return &Result{Scores: acc.finish(), Subspaces: subspaces}, nil
+}
+
+// FittedPipeline is the frozen outcome of Pipeline.Fit: the selected
+// subspaces, one fitted scorer per subspace, and the aggregated training
+// scores. It scores out-of-sample points without re-running the subspace
+// search or the batch scoring passes, and is safe for concurrent
+// ScorePoint calls.
+type FittedPipeline struct {
+	// Subspaces are the projections the fit selected, in the order they
+	// aggregate.
+	Subspaces []subspace.Scored
+	// Scorers holds the frozen step-2 state, parallel to Subspaces.
+	Scorers []FittedScorer
+	// Agg is the aggregation the fit used.
+	Agg Aggregation
+	// Train is the aggregated training score per object — bit-for-bit the
+	// Rank result on the same data and configuration.
+	Train []float64
+	// D is the full-space dimensionality scored points must have.
+	D int
+
+	// scratch pools the per-query aggregation buffer; the zero value
+	// works, so FittedPipeline may be built as a composite literal.
+	scratch sync.Pool // *[]float64
+}
+
+// Fit runs the subspace search once and freezes the per-subspace scorer
+// state. The pipeline's scorer must implement FitScorer. The returned
+// training scores equal Rank's scores exactly: the per-subspace batch
+// scores come from the same fitting passes and the aggregation applies the
+// identical operation sequence.
+func (p Pipeline) Fit(ds *dataset.Dataset) (*FittedPipeline, error) {
+	scorer, subspaces, err := p.resolve(ds)
+	if err != nil {
+		return nil, err
 	}
-	return &Result{Scores: agg, Subspaces: subspaces}, nil
+	fs, ok := scorer.(FitScorer)
+	if !ok {
+		return nil, fmt.Errorf("ranking: scorer %s does not support the fit/score split", scorer.Name())
+	}
+	fitted := make([]FittedScorer, len(subspaces))
+	acc := newAccumulator(p.Agg, ds.N())
+	for j, sc := range subspaces {
+		f, scores, err := fs.Fit(ds, sc.S)
+		if err != nil {
+			return nil, fmt.Errorf("ranking: fitting %v with %s: %w", sc.S, scorer.Name(), err)
+		}
+		fitted[j] = f
+		acc.fold(scores)
+	}
+	return &FittedPipeline{
+		Subspaces: subspaces,
+		Scorers:   fitted,
+		Agg:       p.Agg,
+		Train:     acc.finish(),
+		D:         ds.D(),
+	}, nil
+}
+
+// ScorePoint scores one out-of-sample full-space point: every fitted
+// subspace scorer evaluates the point's projection, and the per-subspace
+// scores aggregate exactly like the batch ranking. The aggregation buffer
+// is pooled, keeping the serving hot path allocation-free.
+func (fp *FittedPipeline) ScorePoint(point []float64) (float64, error) {
+	if len(point) != fp.D {
+		return 0, fmt.Errorf("ranking: point has %d attributes, model expects %d", len(point), fp.D)
+	}
+	buf, _ := fp.scratch.Get().(*[]float64)
+	if buf == nil {
+		buf = new([]float64)
+	}
+	vals := (*buf)[:0]
+	for _, f := range fp.Scorers {
+		vals = append(vals, f.ScorePoint(point))
+	}
+	res := aggregatePoint(fp.Agg, vals)
+	*buf = vals
+	fp.scratch.Put(buf)
+	return res, nil
 }
 
 // Name identifies the pipeline in reports, e.g. "HiCS+LOF".

@@ -219,6 +219,119 @@ func TestScoresFiniteOrInf(t *testing.T) {
 	}
 }
 
+func TestParseAggregation(t *testing.T) {
+	cases := map[string]Aggregation{
+		"": Average, "average": Average, "avg": Average, "mean": Average,
+		"max": Max, "product": Product, "prod": Product,
+	}
+	for s, want := range cases {
+		got, err := ParseAggregation(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAggregation(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseAggregation("median"); err == nil {
+		t.Error("ParseAggregation should reject unknown names")
+	}
+	if Product.String() != "product" {
+		t.Errorf("Product.String() = %q", Product.String())
+	}
+}
+
+// TestFitTrainScoresEqualRank is the fit/score split's core contract at
+// the pipeline level: for every scorer, aggregation and backend, the
+// fitted pipeline's training scores are bit-for-bit the Rank scores, and
+// ScorePoint on a training row's out-of-sample formula stays finite.
+func TestFitTrainScoresEqualRank(t *testing.T) {
+	b := benchData(t, 10)
+	ds := b.Data.Data
+	searcher := &core.Searcher{Params: core.Params{M: 20, Seed: 3, TopK: 15}}
+	for _, scorer := range []Scorer{LOFScorer{MinPts: 10}, KNNScorer{K: 10}} {
+		for _, agg := range []Aggregation{Average, Max, Product} {
+			for _, kind := range []neighbors.Kind{neighbors.KindAuto, neighbors.KindBrute, neighbors.KindKDTree} {
+				p := Pipeline{Searcher: searcher, Scorer: scorer, Agg: agg, Index: kind}
+				res, err := p.Rank(ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp, err := p.Fit(ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fp.Train) != len(res.Scores) || len(fp.Scorers) != len(res.Subspaces) {
+					t.Fatalf("%s/%s/%v: fitted sizes train=%d scorers=%d vs rank scores=%d subspaces=%d",
+						scorer.Name(), agg, kind, len(fp.Train), len(fp.Scorers), len(res.Scores), len(res.Subspaces))
+				}
+				for i := range res.Scores {
+					if fp.Train[i] != res.Scores[i] {
+						t.Fatalf("%s/%s/%v: train[%d] = %v, Rank = %v",
+							scorer.Name(), agg, kind, i, fp.Train[i], res.Scores[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFitScorePointBackendEquivalence: out-of-sample pipeline scores agree
+// bit for bit across pinned backends.
+func TestFitScorePointBackendEquivalence(t *testing.T) {
+	b := benchData(t, 11)
+	ds := b.Data.Data
+	searcher := &core.Searcher{Params: core.Params{M: 20, Seed: 4, TopK: 10}}
+	brute, err := Pipeline{Searcher: searcher, Scorer: LOFScorer{MinPts: 10}, Index: neighbors.KindBrute}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Pipeline{Searcher: searcher, Scorer: LOFScorer{MinPts: 10}, Index: neighbors.KindKDTree}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 0, ds.D())
+	for i := 0; i < ds.N(); i += 13 {
+		row := ds.Row(i, buf)
+		// Perturb the row so the query is genuinely out-of-sample.
+		for j := range row {
+			row[j] += 0.01 * float64(j+1)
+		}
+		sb, err := brute.ScorePoint(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := tree.ScorePoint(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb != st {
+			t.Fatalf("ScorePoint row %d: brute %v != kdtree %v", i, sb, st)
+		}
+		if math.IsNaN(sb) {
+			t.Fatalf("ScorePoint row %d: NaN", i)
+		}
+	}
+	if _, err := brute.ScorePoint(make([]float64, ds.D()+1)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	b := benchData(t, 12)
+	if _, err := (Pipeline{}).Fit(b.Data.Data); err == nil {
+		t.Error("missing components should fail")
+	}
+	if _, err := (Pipeline{Searcher: emptySearcher{}, Scorer: LOFScorer{}}).Fit(b.Data.Data); err == nil {
+		t.Error("empty subspace list should fail")
+	}
+	if _, err := (Pipeline{Searcher: FullSpace{}, Scorer: unfittableScorer{}}).Fit(b.Data.Data); err == nil {
+		t.Error("non-FitScorer should fail")
+	}
+}
+
+type unfittableScorer struct{}
+
+func (unfittableScorer) Score(*dataset.Dataset, []int) ([]float64, error) { return nil, nil }
+func (unfittableScorer) Name() string                                     { return "unfittable" }
+
 // TestPipelineIndexOverride: Pipeline.Index pins the backend of every
 // IndexableScorer, and the pinned backends agree bit for bit.
 func TestPipelineIndexOverride(t *testing.T) {

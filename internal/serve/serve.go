@@ -1,0 +1,134 @@
+// Package serve implements the HTTP scoring interface behind the
+// cmd/hicsd server: a trained hics.Model exposed as a JSON endpoint. It
+// lives outside the command so the examples (and tests) can embed the
+// exact handler the daemon serves.
+//
+// Endpoints:
+//
+//	GET  /healthz  liveness plus model shape (objects, attributes,
+//	               subspaces)
+//	POST /score    score one point ({"point": [...]}) or a batch
+//	               ({"points": [[...], ...]}) against the model
+//
+// The model is immutable after load and Model.Score is safe for
+// concurrent use, so the handler needs no locking.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"hics"
+)
+
+// ScoreRequest is the /score request body. Exactly one of Point and
+// Points must be set.
+type ScoreRequest struct {
+	// Point is a single observation, one value per model attribute.
+	Point []float64 `json:"point,omitempty"`
+	// Points is a batch of observations.
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+// ScoreResponse is the /score response body; the populated field mirrors
+// the request shape ("score" for a point request, "scores" for a batch —
+// present even when the batch is empty).
+type ScoreResponse struct {
+	Score  *float64  `json:"score,omitempty"`
+	Scores []float64 `json:"scores,omitempty"`
+}
+
+// Single-shape encode types: a batch response must carry "scores" even
+// for an empty batch (omitempty would drop it, leaving a bare {} that is
+// indistinguishable from a malformed response).
+type pointResponse struct {
+	Score float64 `json:"score"`
+}
+
+type batchResponse struct {
+	Scores []float64 `json:"scores"`
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status     string `json:"status"`
+	Objects    int    `json:"objects"`
+	Attributes int    `json:"attributes"`
+	Subspaces  int    `json:"subspaces"`
+	Version    string `json:"version"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxRequestBytes bounds a /score body; a million-point batch is a
+// mistake, not a query.
+const maxRequestBytes = 64 << 20
+
+// NewHandler returns the hicsd HTTP handler serving the given model.
+func NewHandler(m *hics.Model) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Health{
+			Status:     "ok",
+			Objects:    m.N(),
+			Attributes: m.D(),
+			Subspaces:  len(m.Subspaces()),
+			Version:    hics.Version,
+		})
+	})
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+			return
+		}
+		var req ScoreRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request: %v", err)})
+			return
+		}
+		switch {
+		case req.Point != nil && req.Points != nil:
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set exactly one of "point" and "points"`})
+		case req.Point != nil:
+			s, err := m.Score(req.Point)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, pointResponse{Score: s})
+		case req.Points != nil:
+			scores, err := m.ScoreBatch(req.Points)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			if scores == nil {
+				scores = []float64{}
+			}
+			writeJSON(w, http.StatusOK, batchResponse{Scores: scores})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set "point" or "points"`})
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		// LOF scores of degenerate (duplicate-heavy) data can be +Inf,
+		// which JSON cannot carry; report instead of sending a truncated
+		// 200 body.
+		status = http.StatusUnprocessableEntity
+		data, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("response not representable in JSON: %v", err)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(data, '\n'))
+}

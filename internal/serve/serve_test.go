@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hics"
+	"hics/internal/rng"
+)
+
+func fitModel(t *testing.T) *hics.Model {
+	t.Helper()
+	r := rng.New(1)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		c := 0.3
+		if r.Float64() < 0.5 {
+			c = 0.7
+		}
+		rows[i] = []float64{r.NormalScaled(c, 0.04), r.NormalScaled(c, 0.04), r.Float64(), r.Float64()}
+	}
+	m, err := hics.Fit(rows, hics.Options{M: 10, Seed: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func postScore(t *testing.T, srv *httptest.Server, body string) (*http.Response, ScoreResponse, string) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/score", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var sr ScoreResponse
+	_ = json.Unmarshal(buf.Bytes(), &sr)
+	return resp, sr, buf.String()
+}
+
+func TestHealthz(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Objects != m.N() || h.Attributes != m.D() || h.Subspaces != len(m.Subspaces()) {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestScoreSinglePoint(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, sr, body := postScore(t, srv, `{"point": [0.3, 0.7, 0.5, 0.5]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if sr.Score == nil {
+		t.Fatalf("no score in %s", body)
+	}
+	want, err := m.Score([]float64{0.3, 0.7, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *sr.Score != want {
+		t.Errorf("served score %v, model score %v", *sr.Score, want)
+	}
+}
+
+func TestScoreBatch(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, sr, body := postScore(t, srv, `{"points": [[0.3, 0.7, 0.5, 0.5], [0.7, 0.7, 0.5, 0.5]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if len(sr.Scores) != 2 {
+		t.Fatalf("scores = %v", sr.Scores)
+	}
+	want, err := m.ScoreBatch([][]float64{{0.3, 0.7, 0.5, 0.5}, {0.7, 0.7, 0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if sr.Scores[i] != want[i] {
+			t.Errorf("served scores[%d] = %v, model %v", i, sr.Scores[i], want[i])
+		}
+	}
+}
+
+func TestScoreEmptyBatch(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, _, body := postScore(t, srv, `{"points": []}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// The scores field must be present (and empty), not dropped.
+	if strings.TrimSpace(body) != `{"scores":[]}` {
+		t.Errorf("empty batch body = %s, want {\"scores\":[]}", body)
+	}
+}
+
+func TestScoreBadRequests(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	cases := []string{
+		``,                                   // empty body
+		`{`,                                  // invalid JSON
+		`{}`,                                 // neither point nor points
+		`{"point": [1, 2]}`,                  // wrong dimensionality
+		`{"points": [[1, 2, 3, 4], [1]]}`,    // ragged batch
+		`{"point": [1,2,3,4], "points": []}`, // both set
+		`{"pointz": [1, 2, 3, 4]}`,           // unknown field
+	}
+	for _, body := range cases {
+		resp, _, got := postScore(t, srv, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d (%s), want 400", body, resp.StatusCode, got)
+		}
+		if !strings.Contains(got, "error") {
+			t.Errorf("body %q: no error field in %s", body, got)
+		}
+	}
+	// GET on /score is rejected.
+	resp, err := http.Get(srv.URL + "/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /score status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestScoreConcurrent exercises the handler under parallel load; the race
+// detector guards the model's scratch pooling.
+func TestScoreConcurrent(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	want, err := m.Score([]float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Post(srv.URL+"/score", "application/json",
+					strings.NewReader(`{"point": [0.5, 0.5, 0.5, 0.5]}`))
+				if err != nil {
+					t.Errorf("concurrent score: %v", err)
+					return
+				}
+				var sr ScoreResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || sr.Score == nil || *sr.Score != want {
+					t.Errorf("concurrent score: status %d err %v, want score %v", resp.StatusCode, err, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

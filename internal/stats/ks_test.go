@@ -163,6 +163,71 @@ func TestQuickKSProperties(t *testing.T) {
 	}
 }
 
+// naiveKSStat is the reference implementation of the two-sample KS
+// statistic: build both ECDFs explicitly and take the supremum of their
+// absolute difference over all sample points (the sup of a difference of
+// right-continuous step functions is attained at a jump).
+func naiveKSStat(a, b []float64) float64 {
+	fa := func(x float64) float64 {
+		c := 0
+		for _, v := range a {
+			if v <= x {
+				c++
+			}
+		}
+		return float64(c) / float64(len(a))
+	}
+	fb := func(x float64) float64 {
+		c := 0
+		for _, v := range b {
+			if v <= x {
+				c++
+			}
+		}
+		return float64(c) / float64(len(b))
+	}
+	d := 0.0
+	for _, x := range append(append([]float64(nil), a...), b...) {
+		diff := fa(x) - fb(x)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Property: the merge-based KSStatSorted equals the naive two-ECDF
+// sup-difference on random samples with heavy ties.
+func TestQuickKSMatchesNaive(t *testing.T) {
+	f := func(seed uint64, naRaw, nbRaw, gridRaw uint8) bool {
+		r := rng.New(seed)
+		na := int(naRaw%40) + 1
+		nb := int(nbRaw%40) + 1
+		grid := float64(gridRaw%6) + 1 // coarse grid => many exact ties
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = float64(int(r.Float64() * grid))
+		}
+		for i := range b {
+			b[i] = float64(int(r.Float64()*grid)) + float64(int(r.Float64()*2))
+		}
+		want := naiveKSStat(a, b)
+		sa := append([]float64(nil), a...)
+		sb := append([]float64(nil), b...)
+		sort.Float64s(sa)
+		sort.Float64s(sb)
+		got := KSStatSorted(sa, sb)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: the ECDF is monotone non-decreasing.
 func TestQuickECDFMonotone(t *testing.T) {
 	f := func(seed uint64, n uint8) bool {

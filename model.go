@@ -1,0 +1,386 @@
+package hics
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"hics/internal/dataset"
+	"hics/internal/lof"
+	"hics/internal/neighbors"
+	"hics/internal/ranking"
+	"hics/internal/subspace"
+)
+
+// Model is a trained HiCS outlier detector: the outcome of running the
+// Monte Carlo subspace search once and freezing the per-subspace scoring
+// state (a neighbor index per selected projection plus the fitted LOF
+// k-distances and local reachability densities, or the kNN-distance
+// state). A Model scores out-of-sample points without refitting, can be
+// persisted with Save and restored with LoadModel, and is safe for
+// concurrent Score/ScoreBatch calls.
+type Model struct {
+	fp *ranking.FittedPipeline
+	ds *dataset.Dataset // training data, retained for Save
+
+	useKNN bool
+	minPts int // effective neighborhood size
+	agg    ranking.Aggregation
+
+	subspaces   []Subspace
+	trainScores []float64
+	// lookup maps the exact bit pattern of a training row to its index, so
+	// scoring a training row reproduces its batch score: the query is
+	// treated as that object (leave-one-out), not as an extra point that
+	// would shadow itself at distance zero.
+	lookup map[string]int
+	keyBuf sync.Pool // *[]byte, per-query lookup-key scratch
+}
+
+// Fit runs the HiCS subspace search on row-major training data and
+// freezes a reusable scoring model. The model's training scores are
+// bit-for-bit the Rank scores for the same data and options.
+func Fit(rows [][]float64, opts Options) (*Model, error) {
+	ds, err := toDataset(rows)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the effective neighborhood size up front so the persisted
+	// model is self-describing.
+	if opts.MinPts < 1 {
+		opts.MinPts = lof.DefaultMinPts
+	}
+	pipe, err := opts.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	fp, err := pipe.Fit(ds)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		fp:          fp,
+		ds:          ds,
+		useKNN:      opts.UseKNNScore,
+		minPts:      opts.MinPts,
+		agg:         fp.Agg,
+		trainScores: fp.Train,
+	}
+	m.subspaces = make([]Subspace, len(fp.Subspaces))
+	for i, sc := range fp.Subspaces {
+		m.subspaces[i] = Subspace{Dims: append([]int(nil), sc.S...), Contrast: sc.Score}
+	}
+	m.buildLookup()
+	return m, nil
+}
+
+// buildLookup indexes the training rows by their exact bit pattern.
+// The first of several identical rows wins; identical rows receive equal
+// batch scores (up to summation order), so the choice is immaterial.
+func (m *Model) buildLookup() {
+	m.lookup = make(map[string]int, m.ds.N())
+	buf := make([]float64, 0, m.ds.D())
+	var key []byte
+	for i := m.ds.N() - 1; i >= 0; i-- {
+		buf = m.ds.Row(i, buf)
+		key = appendRowKey(key[:0], buf)
+		m.lookup[string(key)] = i
+	}
+}
+
+// appendRowKey serializes a point's float64 bit patterns onto b.
+func appendRowKey(b []byte, p []float64) []byte {
+	for _, v := range p {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// D returns the number of attributes the model was fitted on; Score
+// expects points of this length.
+func (m *Model) D() int { return m.fp.D }
+
+// N returns the number of training objects.
+func (m *Model) N() int { return len(m.trainScores) }
+
+// Subspaces returns the high-contrast projections the model scores in,
+// in descending contrast order.
+func (m *Model) Subspaces() []Subspace {
+	out := make([]Subspace, len(m.subspaces))
+	for i, s := range m.subspaces {
+		out[i] = Subspace{Dims: append([]int(nil), s.Dims...), Contrast: s.Contrast}
+	}
+	return out
+}
+
+// TrainingScores returns the aggregated outlier scores of the training
+// objects — bit-for-bit the Rank result for the same data and options.
+func (m *Model) TrainingScores() []float64 {
+	return append([]float64(nil), m.trainScores...)
+}
+
+// Score computes the outlier score of a single point against the trained
+// model: every fitted subspace scores the point's projection out of
+// sample, and the per-subspace scores aggregate exactly like Rank. A
+// point whose bit pattern equals a training row is scored as that object
+// (leave-one-out), so training rows reproduce their batch scores exactly.
+// Among bit-identical duplicate training rows the first row's score is
+// returned; duplicates' batch scores can differ only in the final ulp
+// (their neighborhoods hold the same values, summed in a different
+// order). Safe for concurrent use.
+func (m *Model) Score(point []float64) (float64, error) {
+	if len(point) != m.fp.D {
+		return 0, fmt.Errorf("hics: point has %d attributes, model expects %d", len(point), m.fp.D)
+	}
+	// The training-row lookup runs first so that training rows reproduce
+	// their batch scores whatever their values — Fit accepts non-finite
+	// training data just like Rank does.
+	if i, ok := m.trainIndex(point); ok {
+		return m.trainScores[i], nil
+	}
+	for j, v := range point {
+		// A NaN coordinate empties every neighborhood and would come back
+		// as a perfectly average-looking score; reject non-finite
+		// out-of-sample input instead of masking it.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("hics: point attribute %d is %v, want a finite value", j, v)
+		}
+	}
+	return m.fp.ScorePoint(point)
+}
+
+// trainIndex probes the training-row lookup without allocating: the key
+// is serialized into a pooled buffer, and the map index with an inline
+// []byte-to-string conversion is allocation-elided by the compiler.
+func (m *Model) trainIndex(point []float64) (int, bool) {
+	bufp, _ := m.keyBuf.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	b := appendRowKey((*bufp)[:0], point)
+	i, ok := m.lookup[string(b)]
+	*bufp = b
+	m.keyBuf.Put(bufp)
+	return i, ok
+}
+
+// ScoreBatch scores every row, parallelized over the CPUs, with Score's
+// semantics per row: genuinely new points score out of sample, rows
+// bit-identical to a training row reproduce that row's batch score.
+func (m *Model) ScoreBatch(rows [][]float64) ([]float64, error) {
+	for i, row := range rows {
+		if len(row) != m.fp.D {
+			return nil, fmt.Errorf("hics: row %d has %d attributes, model expects %d", i, len(row), m.fp.D)
+		}
+	}
+	out := make([]float64, len(rows))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s, err := m.Score(rows[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = s
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Model persistence: a magic string and a little-endian uint32 format
+// version followed by a gob-encoded payload. Floats round-trip exactly
+// through gob, so a loaded model scores bit-for-bit like the original.
+const modelMagic = "HICSMODEL"
+
+// modelFormatVersion identifies the payload layout; bump on incompatible
+// changes so old readers fail loudly instead of misinterpreting state.
+const modelFormatVersion uint32 = 1
+
+// savedSubspaceV1 is the persisted per-subspace state (format version 1).
+type savedSubspaceV1 struct {
+	Dims     []int
+	Contrast float64
+	// IndexKind is the resolved neighbor-index backend ("brute"/"kdtree");
+	// index construction is deterministic, so the structure is rebuilt at
+	// load time instead of being serialized.
+	IndexKind string
+	// KDist and LRD are the fitted LOF statistics; nil for the kNN scorer.
+	KDist []float64
+	LRD   []float64
+}
+
+// modelFileV1 is the persisted model (format version 1).
+type modelFileV1 struct {
+	UseKNN bool
+	MinPts int
+	Agg    string
+	N, D   int
+	// Cols is the training data in the column-major internal layout.
+	Cols        [][]float64
+	Subspaces   []savedSubspaceV1
+	TrainScores []float64
+}
+
+// Save writes the model to w in the versioned binary format. The file
+// contains the training data, the selected subspaces with their fitted
+// scoring statistics, and the training scores; neighbor indices are
+// rebuilt deterministically on load.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, modelMagic); err != nil {
+		return fmt.Errorf("hics: saving model: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, modelFormatVersion); err != nil {
+		return fmt.Errorf("hics: saving model: %w", err)
+	}
+	mf := modelFileV1{
+		UseKNN:      m.useKNN,
+		MinPts:      m.minPts,
+		Agg:         m.agg.String(),
+		N:           m.ds.N(),
+		D:           m.ds.D(),
+		Cols:        make([][]float64, m.ds.D()),
+		Subspaces:   make([]savedSubspaceV1, len(m.fp.Scorers)),
+		TrainScores: m.trainScores,
+	}
+	for d := range mf.Cols {
+		mf.Cols[d] = m.ds.Col(d)
+	}
+	for i, fs := range m.fp.Scorers {
+		sv := savedSubspaceV1{Dims: fs.Dims(), Contrast: m.subspaces[i].Contrast}
+		switch f := fs.(type) {
+		case *ranking.FittedLOFScorer:
+			sv.IndexKind = f.State.Kind().String()
+			sv.KDist = f.State.KDist()
+			sv.LRD = f.State.LRD()
+		case *ranking.FittedKNNScorer:
+			sv.IndexKind = f.State.Kind().String()
+		default:
+			return fmt.Errorf("hics: cannot persist scorer type %T", fs)
+		}
+		mf.Subspaces[i] = sv
+	}
+	if err := gob.NewEncoder(w).Encode(&mf); err != nil {
+		return fmt.Errorf("hics: saving model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model previously written by Save and reassembles the
+// scoring state. The loaded model's Score is bit-for-bit identical to the
+// original's.
+func LoadModel(r io.Reader) (*Model, error) {
+	header := make([]byte, len(modelMagic)+4)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("hics: loading model: %w", err)
+	}
+	if !bytes.Equal(header[:len(modelMagic)], []byte(modelMagic)) {
+		return nil, errors.New("hics: not a HiCS model file")
+	}
+	version := binary.LittleEndian.Uint32(header[len(modelMagic):])
+	if version != modelFormatVersion {
+		return nil, fmt.Errorf("hics: unsupported model format version %d (want %d)", version, modelFormatVersion)
+	}
+	var mf modelFileV1
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("hics: loading model: %w", err)
+	}
+	if len(mf.Cols) != mf.D || mf.D == 0 {
+		return nil, fmt.Errorf("hics: model file has %d columns, header says %d", len(mf.Cols), mf.D)
+	}
+	for d, col := range mf.Cols {
+		if len(col) != mf.N {
+			return nil, fmt.Errorf("hics: model column %d has %d values, header says %d", d, len(col), mf.N)
+		}
+	}
+	if len(mf.TrainScores) != mf.N {
+		return nil, fmt.Errorf("hics: model file has %d training scores for %d objects", len(mf.TrainScores), mf.N)
+	}
+	if len(mf.Subspaces) == 0 {
+		return nil, errors.New("hics: model file has no subspaces")
+	}
+	agg, err := ranking.ParseAggregation(mf.Agg)
+	if err != nil {
+		return nil, fmt.Errorf("hics: loading model: %w", err)
+	}
+	ds, err := dataset.New(nil, mf.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("hics: loading model: %w", err)
+	}
+	fp := &ranking.FittedPipeline{
+		Subspaces: make([]subspace.Scored, len(mf.Subspaces)),
+		Scorers:   make([]ranking.FittedScorer, len(mf.Subspaces)),
+		Agg:       agg,
+		Train:     mf.TrainScores,
+		D:         mf.D,
+	}
+	m := &Model{
+		fp:          fp,
+		ds:          ds,
+		useKNN:      mf.UseKNN,
+		minPts:      mf.MinPts,
+		agg:         agg,
+		subspaces:   make([]Subspace, len(mf.Subspaces)),
+		trainScores: mf.TrainScores,
+	}
+	for i, sv := range mf.Subspaces {
+		kind, err := neighbors.ParseKind(sv.IndexKind)
+		if err != nil {
+			return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
+		}
+		idx, err := neighbors.New(ds, sv.Dims, kind)
+		if err != nil {
+			return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
+		}
+		if mf.UseKNN {
+			st, err := lof.NewFittedKNN(idx, mf.MinPts)
+			if err != nil {
+				return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
+			}
+			fp.Scorers[i] = &ranking.FittedKNNScorer{Subspace: sv.Dims, State: st}
+		} else {
+			st, err := lof.NewFitted(idx, mf.MinPts, sv.KDist, sv.LRD)
+			if err != nil {
+				return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
+			}
+			fp.Scorers[i] = &ranking.FittedLOFScorer{Subspace: sv.Dims, State: st}
+		}
+		fp.Subspaces[i] = subspace.Scored{S: subspace.New(sv.Dims...), Score: sv.Contrast}
+		m.subspaces[i] = Subspace{Dims: append([]int(nil), sv.Dims...), Contrast: sv.Contrast}
+	}
+	m.buildLookup()
+	return m, nil
+}
