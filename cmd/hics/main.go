@@ -4,18 +4,24 @@
 // Usage:
 //
 //	hics [flags] <input.csv>
+//	hics -list-methods
 //
 // The input is numeric CSV; with -header the first row names the
 // attributes, and a column named "label"/"outlier" (or the -label flag) is
 // used as ground truth to report the AUC of the ranking. Output is the
 // ranked list of high-contrast subspaces followed by the top outliers.
-// With -save-model the fitted model is additionally persisted for
-// out-of-sample scoring via the hicsd server.
+//
+// Both pipeline steps are pluggable: -search selects the subspace-search
+// method and -scorer the density scorer, by method-registry name;
+// -list-methods prints every registered name. With -save-model the fitted
+// model is additionally persisted for out-of-sample scoring via the hicsd
+// server (fit requires a -scorer supporting the fit/score split).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,16 +30,17 @@ import (
 	"hics/internal/core"
 	"hics/internal/dataset"
 	"hics/internal/eval"
-	"hics/internal/neighbors"
 	"hics/internal/ranking"
-	"hics/internal/subspace"
+	"hics/internal/registry"
 )
 
 // Flag help texts naming the accepted values; tests parse these to verify
 // every advertised name actually parses.
-const (
-	testFlagUsage = "statistical test: welch, ks, mw or cvm"
-	aggFlagUsage  = "aggregation of per-subspace scores: average, max or product"
+var (
+	testFlagUsage   = "statistical test: welch, ks, mw or cvm"
+	aggFlagUsage    = "aggregation of per-subspace scores: average, max or product"
+	searchFlagUsage = "subspace searcher: " + strings.Join(registry.SearcherNames(), ", ")
+	scorerFlagUsage = "outlier scorer: " + strings.Join(registry.ScorerNames(), ", ")
 )
 
 func main() {
@@ -46,21 +53,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hics", flag.ContinueOnError)
 	var (
-		header    = fs.Bool("header", true, "first CSV row contains attribute names")
-		label     = fs.String("label", "", "name of the ground-truth label column (default: auto-detect 'label'/'outlier'; '-' disables)")
-		test      = fs.String("test", "welch", testFlagUsage)
-		m         = fs.Int("M", core.DefaultM, "Monte Carlo iterations per subspace")
-		alpha     = fs.Float64("alpha", core.DefaultAlpha, "expected slice size as a fraction of N")
-		cutoff    = fs.Int("cutoff", core.DefaultCutoff, "candidate cutoff per Apriori level")
-		topk      = fs.Int("topk", core.DefaultTopK, "number of high-contrast subspaces to rank in")
-		minPts    = fs.Int("minpts", 10, "LOF MinPts neighborhood size")
-		seed      = fs.Uint64("seed", 0, "random seed")
-		outl      = fs.Int("outliers", 10, "number of top outliers to print")
-		scorer    = fs.String("scorer", "lof", "outlier scorer: lof or knn")
-		aggName   = fs.String("agg", "average", aggFlagUsage)
-		index     = fs.String("index", "auto", "neighbor index for the ranking step: auto, kdtree or brute")
-		subOnly   = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
-		saveModel = fs.String("save-model", "", "fit a reusable model and save it to this file (serve it with hicsd)")
+		header      = fs.Bool("header", true, "first CSV row contains attribute names")
+		label       = fs.String("label", "", "name of the ground-truth label column (default: auto-detect 'label'/'outlier'; '-' disables)")
+		test        = fs.String("test", "welch", testFlagUsage)
+		m           = fs.Int("M", core.DefaultM, "Monte Carlo iterations per subspace")
+		alpha       = fs.Float64("alpha", core.DefaultAlpha, "expected slice size as a fraction of N")
+		cutoff      = fs.Int("cutoff", core.DefaultCutoff, "candidate cutoff per Apriori level")
+		topk        = fs.Int("topk", core.DefaultTopK, "number of high-contrast subspaces to rank in")
+		minPts      = fs.Int("minpts", 10, "LOF MinPts neighborhood size")
+		seed        = fs.Uint64("seed", 0, "random seed")
+		outl        = fs.Int("outliers", 10, "number of top outliers to print")
+		search      = fs.String("search", "hics", searchFlagUsage)
+		scorer      = fs.String("scorer", "lof", scorerFlagUsage)
+		aggName     = fs.String("agg", "average", aggFlagUsage)
+		index       = fs.String("index", "auto", "neighbor index for the ranking step: auto, kdtree or brute")
+		subOnly     = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
+		saveModel   = fs.String("save-model", "", "fit a reusable model and save it to this file (serve it with hicsd)")
+		listMethods = fs.Bool("list-methods", false, "list the registered searcher and scorer names and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: hics [flags] <input.csv>")
@@ -69,14 +78,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listMethods {
+		return printMethods(os.Stdout)
+	}
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one input file, got %d", fs.NArg())
-	}
-
-	tt, err := core.ParseTest(*test)
-	if err != nil {
-		return err
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -91,36 +98,33 @@ func run(args []string) error {
 	ds := l.Data
 	fmt.Printf("loaded %d objects x %d attributes\n", ds.N(), ds.D())
 
-	params := core.Params{M: *m, Alpha: *alpha, Cutoff: *cutoff, TopK: *topk, Test: tt, Seed: *seed}
-	searcher := &core.Searcher{Params: params}
+	// Everything routes through the public API: one Options value feeds
+	// SearchSubspaces, Rank and Fit, so option validation and method
+	// resolution behave identically at every entry point.
+	opts := hics.Options{
+		M: *m, Alpha: *alpha, CandidateCutoff: *cutoff, TopK: *topk,
+		Test: *test, Seed: *seed, MinPts: *minPts,
+		Aggregation: *aggName, NeighborIndex: *index,
+		Search: *search, Scorer: *scorer,
+	}
+	rows := make([][]float64, ds.N())
+	for i := range rows {
+		rows[i] = ds.Row(i, nil)
+	}
 
 	if *subOnly {
 		if *saveModel != "" {
 			return fmt.Errorf("-save-model needs the ranking step; drop -subspaces-only")
 		}
-		subs, err := searcher.Search(ds)
+		subs, err := hics.SearchSubspaces(rows, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
-		printSubspaces(ds, subs, 20)
+		printSubspaces(ds, *search, *test, subs, 20)
 		return nil
 	}
 
-	var sc ranking.Scorer
-	switch *scorer {
-	case "lof":
-		sc = ranking.LOFScorer{MinPts: *minPts}
-	case "knn":
-		sc = ranking.KNNScorer{K: *minPts}
-	default:
-		return fmt.Errorf("unknown scorer %q (want lof or knn)", *scorer)
-	}
 	agg, err := ranking.ParseAggregation(*aggName)
-	if err != nil {
-		return err
-	}
-	kind, err := neighbors.ParseKind(*index)
 	if err != nil {
 		return err
 	}
@@ -128,27 +132,12 @@ func run(args []string) error {
 	if *saveModel != "" {
 		// The fit/score split: run the search once, freeze the model,
 		// report the (identical) training ranking, and persist for hicsd.
-		opts := hics.Options{
-			M: *m, Alpha: *alpha, CandidateCutoff: *cutoff, TopK: *topk,
-			Test: *test, Seed: *seed, MinPts: *minPts,
-			UseKNNScore: *scorer == "knn", Aggregation: *aggName,
-			NeighborIndex: *index,
-		}
-		rows := make([][]float64, ds.N())
-		for i := range rows {
-			rows[i] = ds.Row(i, nil)
-		}
 		model, err := hics.Fit(rows, opts)
 		if err != nil {
 			return err
 		}
-		subs := make([]subspace.Scored, len(model.Subspaces()))
-		for i, s := range model.Subspaces() {
-			subs[i] = subspace.Scored{S: subspace.New(s.Dims...), Score: s.Contrast}
-		}
-		fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
-		printSubspaces(ds, subs, 10)
-		reportRanking(l, model.TrainingScores(), *outl, sc.Name(), agg)
+		printSubspaces(ds, *search, *test, model.Subspaces(), 10)
+		reportRanking(l, model.TrainingScores(), *outl, *scorer, agg)
 		f, err := os.Create(*saveModel)
 		if err != nil {
 			return err
@@ -164,15 +153,38 @@ func run(args []string) error {
 		return nil
 	}
 
-	pipe := ranking.Pipeline{Searcher: searcher, Scorer: sc, Agg: agg, MaxSubspaces: -1, Index: kind}
-	res, err := pipe.Rank(ds)
+	res, err := hics.Rank(rows, opts)
 	if err != nil {
 		return err
 	}
+	printSubspaces(ds, *search, *test, res.Subspaces, 10)
+	reportRanking(l, res.Scores, *outl, *scorer, agg)
+	return nil
+}
 
-	fmt.Printf("\ntop high-contrast subspaces (%s test):\n", tt)
-	printSubspaces(ds, res.Subspaces, 10)
-	reportRanking(l, res.Scores, *outl, sc.Name(), agg)
+// printMethods lists every registered method name, constructing each one
+// as a smoke check that the whole registry is buildable.
+func printMethods(w io.Writer) error {
+	fmt.Fprintln(w, "searchers:")
+	for _, name := range registry.SearcherNames() {
+		s, err := registry.NewSearcher(name, registry.SearcherOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", name, s.Name())
+	}
+	fmt.Fprintln(w, "scorers:")
+	for _, name := range registry.ScorerNames() {
+		sc, err := registry.NewScorer(name, registry.ScorerOptions{})
+		if err != nil {
+			return err
+		}
+		fit := ""
+		if registry.ScorerSupportsFit(name) {
+			fit = "  (supports fit/save)"
+		}
+		fmt.Fprintf(w, "  %-10s %s%s\n", name, sc.Name(), fit)
+	}
 	return nil
 }
 
@@ -206,15 +218,20 @@ func reportRanking(l *dataset.Labeled, scores []float64, outl int, scorerName st
 }
 
 // printSubspaces lists up to limit scored subspaces with attribute names.
-func printSubspaces(ds *dataset.Dataset, subs []subspace.Scored, limit int) {
+func printSubspaces(ds *dataset.Dataset, search, test string, subs []hics.Subspace, limit int) {
+	if search == "hics" || search == "" {
+		fmt.Printf("\ntop high-contrast subspaces (%s test):\n", test)
+	} else {
+		fmt.Printf("\ntop subspaces (%s search):\n", search)
+	}
 	if limit > len(subs) {
 		limit = len(subs)
 	}
 	for i := 0; i < limit; i++ {
-		names := make([]string, subs[i].S.Dim())
-		for k, d := range subs[i].S {
+		names := make([]string, len(subs[i].Dims))
+		for k, d := range subs[i].Dims {
 			names[k] = ds.Name(d)
 		}
-		fmt.Printf("%3d. contrast %.4f  %v (%s)\n", i+1, subs[i].Score, []int(subs[i].S), strings.Join(names, ", "))
+		fmt.Printf("%3d. contrast %.4f  %v (%s)\n", i+1, subs[i].Contrast, subs[i].Dims, strings.Join(names, ", "))
 	}
 }

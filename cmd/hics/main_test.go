@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"hics/internal/core"
 	"hics/internal/dataset"
 	"hics/internal/ranking"
+	"hics/internal/registry"
 	"hics/internal/synth"
 )
 
@@ -81,6 +84,77 @@ func TestAdvertisedNamesParse(t *testing.T) {
 	for _, name := range aggNames {
 		if _, err := ranking.ParseAggregation(name); err != nil {
 			t.Errorf("-agg help advertises %q, but it does not parse: %v", name, err)
+		}
+	}
+	searchNames := advertisedNames(t, searchFlagUsage)
+	if !reflect.DeepEqual(searchNames, registry.SearcherNames()) {
+		t.Errorf("-search help advertises %v, registry knows %v", searchNames, registry.SearcherNames())
+	}
+	scorerNames := advertisedNames(t, scorerFlagUsage)
+	if !reflect.DeepEqual(scorerNames, registry.ScorerNames()) {
+		t.Errorf("-scorer help advertises %v, registry knows %v", scorerNames, registry.ScorerNames())
+	}
+}
+
+// Every registered method name must run from the CLI; a single small CSV
+// keeps the full matrix cheap.
+func TestRunEveryRegistryMethod(t *testing.T) {
+	path := writeTestCSV(t)
+	for _, search := range registry.SearcherNames() {
+		if err := run([]string{"-M", "5", "-topk", "3", "-search", search, path}); err != nil {
+			t.Errorf("-search %s failed: %v", search, err)
+		}
+	}
+	for _, scorer := range registry.ScorerNames() {
+		if err := run([]string{"-M", "5", "-topk", "3", "-scorer", scorer, path}); err != nil {
+			t.Errorf("-scorer %s failed: %v", scorer, err)
+		}
+	}
+}
+
+func TestListMethods(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printMethods(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range append(registry.SearcherNames(), registry.ScorerNames()...) {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list-methods output missing %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "fit/save") {
+		t.Errorf("-list-methods output does not mark fit-capable scorers:\n%s", out)
+	}
+	// The flag itself needs no input file.
+	if err := run([]string{"-list-methods"}); err != nil {
+		t.Fatalf("-list-methods failed: %v", err)
+	}
+}
+
+// Option validation errors must reach the CLI user with the offending
+// field named.
+func TestRunSurfacesValidationErrors(t *testing.T) {
+	path := writeTestCSV(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-alpha", "1.5", path}, "Alpha"},
+		{[]string{"-M", "-2", path}, "M"},
+		{[]string{"-minpts", "-1", path}, "MinPts"},
+		{[]string{"-topk", "-5", path}, "TopK"},
+		{[]string{"-search", "bogus", path}, "valid"},
+		{[]string{"-scorer", "bogus", path}, "valid"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("run(%v) accepted invalid flags", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
 		}
 	}
 }

@@ -12,7 +12,10 @@
 // Without -o, tables go to stdout; with -o each experiment is additionally
 // written to <dir>/<name>.txt. -quick shrinks dataset sizes and sweeps so
 // the whole suite finishes in minutes; the full-size run reproduces the
-// paper's scale and takes correspondingly longer.
+// paper's scale and takes correspondingly longer. -searchers restricts the
+// subspace-method competitor set to a comma-separated list of method
+// registry names (e.g. -searchers hics,enclus,surfing), so any registered
+// searcher can join the comparison tables.
 package main
 
 import (
@@ -21,9 +24,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"hics/internal/experiments"
+	"hics/internal/registry"
 )
 
 func main() {
@@ -36,10 +41,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hicsbench", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "strongly reduced dataset sizes and sweeps (smoke test)")
-		medium = fs.Bool("medium", false, "paper sweep ranges at reduced dataset sizes (recommended on a laptop)")
-		seed   = fs.Uint64("seed", 1, "base random seed")
-		outDir = fs.String("o", "", "also write each experiment's table to this directory")
+		quick     = fs.Bool("quick", false, "strongly reduced dataset sizes and sweeps (smoke test)")
+		medium    = fs.Bool("medium", false, "paper sweep ranges at reduced dataset sizes (recommended on a laptop)")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		outDir    = fs.String("o", "", "also write each experiment's table to this directory")
+		searchers = fs.String("searchers", "", "comma-separated registry names restricting the subspace-method competitor set (default: hics,enclus,ris,randsub; valid: "+strings.Join(registry.SearcherNames(), ",")+")")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: hicsbench [flags] <experiment>... | all | list")
@@ -55,6 +61,24 @@ func run(args []string) error {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment given")
+	}
+
+	cfg := experiments.Config{Quick: *quick, Medium: *medium, Seed: *seed}
+	if *searchers != "" {
+		for _, name := range strings.Split(*searchers, ",") {
+			name = strings.TrimSpace(name)
+			// An empty token would resolve to the registry default and
+			// silently duplicate a competitor; reject it instead.
+			if name == "" {
+				return fmt.Errorf("-searchers has an empty name (valid: %s)", strings.Join(registry.SearcherNames(), ", "))
+			}
+			// Resolve through the registry so the error enumerates the
+			// valid names.
+			if _, err := registry.NewSearcher(name, registry.SearcherOptions{}); err != nil {
+				return err
+			}
+			cfg.Searchers = append(cfg.Searchers, name)
+		}
 	}
 
 	var names []string
@@ -77,7 +101,6 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Medium: *medium, Seed: *seed}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -32,5 +33,19 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"bogus"}); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+	err := run([]string{"-searchers", "hics,quantum", "list"})
+	if err == nil {
+		t.Error("unknown searcher name should fail")
+	} else if !strings.Contains(err.Error(), "quantum") || !strings.Contains(err.Error(), "enclus") {
+		t.Errorf("error %q should name the offender and enumerate valid searchers", err)
+	}
+	// Empty tokens would silently resolve to the default searcher.
+	if err := run([]string{"-searchers", "hics,,", "list"}); err == nil {
+		t.Error("empty -searchers token should fail")
+	}
+	// Valid selections parse; "list" exits before any experiment runs.
+	if err := run([]string{"-searchers", "surfing, fullspace", "list"}); err != nil {
+		t.Errorf("valid -searchers rejected: %v", err)
 	}
 }

@@ -9,6 +9,7 @@
 // startup and answers concurrent scoring requests:
 //
 //	GET  /healthz  liveness and model shape
+//	GET  /info     method pair (searcher, scorer), subspace count, format version
 //	POST /score    {"point": [...]} or {"points": [[...], ...]}
 //
 // Scoring is out-of-sample against the frozen training state — the
@@ -64,8 +65,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hicsd: model %s (%d objects x %d attributes, %d subspaces), listening on %s\n",
-		*modelPath, m.N(), m.D(), len(m.Subspaces()), ln.Addr())
+	fmt.Printf("hicsd: model %s (%s+%s, format v%d, %d objects x %d attributes, %d subspaces), listening on %s\n",
+		*modelPath, m.SearchMethod(), m.ScorerMethod(), m.FormatVersion(),
+		m.N(), m.D(), len(m.Subspaces()), ln.Addr())
 	srv := &http.Server{
 		Handler: serve.NewHandler(m),
 		// Slow or idle clients must not pin goroutines and descriptors

@@ -39,8 +39,10 @@ func main() {
 		{"HiCS_KS + LOF", hics.Options{M: 50, Seed: 1, Test: "ks"}},
 		{"HiCS_MW + LOF (extension)", hics.Options{M: 50, Seed: 1, Test: "mw"}},
 		{"HiCS_CVM + LOF (extension)", hics.Options{M: 50, Seed: 1, Test: "cvm"}},
-		{"HiCS_WT + kNN-dist", hics.Options{M: 50, Seed: 1, UseKNNScore: true}},
-		{"HiCS_WT + LOF, max-agg", hics.Options{M: 50, Seed: 1, MaxAggregation: true}},
+		{"HiCS_WT + kNN-dist", hics.Options{M: 50, Seed: 1, Scorer: "knn"}},
+		{"HiCS_WT + LOF, max-agg", hics.Options{M: 50, Seed: 1, Aggregation: "max"}},
+		{"Enclus + LOF", hics.Options{Seed: 1, Search: "enclus"}},
+		{"SURFING + LOF (extension)", hics.Options{Seed: 1, Search: "surfing"}},
 	}
 	fmt.Printf("%-32s %8s\n", "method", "AUC")
 	for _, e := range entries {

@@ -105,6 +105,17 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("GET /healthz -> %+v\n", health)
 
+	resp, err = http.Get(srv.URL + "/info")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var modelInfo serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&modelInfo); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("GET /info -> %+v\n", modelInfo)
+
 	req, _ := json.Marshal(serve.ScoreRequest{Points: [][]float64{inlier, outlier}})
 	resp, err = http.Post(srv.URL+"/score", "application/json", bytes.NewReader(req))
 	if err != nil {

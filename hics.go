@@ -17,10 +17,15 @@
 // (Contrast). For production scoring, Fit runs the expensive subspace
 // search once and returns a reusable Model that scores out-of-sample
 // points (Score, ScoreBatch) and persists to disk (Save, LoadModel); the
-// cmd/hicsd server exposes a trained model over HTTP. Competitor methods
-// from the paper's evaluation (full-space LOF, PCA+LOF, random subspaces,
-// Enclus, RIS) live in internal packages and are exercised through the
-// cmd/hicsbench experiment harness.
+// cmd/hicsd server exposes a trained model over HTTP.
+//
+// Both pipeline steps are pluggable through a method registry: the
+// searchers and scorers of the paper's evaluation matrix (HiCS, Enclus,
+// RIS, random subspaces, SURFING, the full space; LOF, kNN-distance,
+// ORCA, OUTRES) are selected by name via Options.Search and
+// Options.Scorer — SearcherNames and ScorerNames list the valid values.
+// The same names drive the cmd/hics flags and the cmd/hicsbench
+// experiment harness.
 //
 // All entry points accept row-major [][]float64 data; every row is one
 // object, every column one attribute.
@@ -32,10 +37,16 @@ import (
 
 	"hics/internal/core"
 	"hics/internal/dataset"
+	"hics/internal/enclus"
 	"hics/internal/lof"
-	"hics/internal/neighbors"
+	"hics/internal/randsub"
 	"hics/internal/ranking"
+	"hics/internal/registry"
+	"hics/internal/ris"
 	"hics/internal/subspace"
+	"hics/internal/surfing"
+
+	"hics/internal/neighbors"
 )
 
 // Options configures HiCS. The zero value selects the defaults of the
@@ -85,9 +96,108 @@ type Options struct {
 	// backends produce bit-for-bit identical scores; the choice only
 	// affects speed.
 	NeighborIndex string
+	// Search selects the subspace-search method by registry name:
+	// "hics" (default), "enclus", "ris", "randsub", "surfing", or
+	// "fullspace". The empty string keeps the paper's HiCS search.
+	// Method-specific parameters map from the shared fields: TopK,
+	// CandidateCutoff, MaxDim and Seed configure every searcher; M,
+	// Alpha and Test apply to the HiCS search; MinPts doubles as the
+	// density parameter of the RIS and SURFING searches.
+	Search string
+	// Scorer selects the density scorer of the ranking step by registry
+	// name: "lof" (default), "knn", "orca", or "outres". The empty
+	// string keeps LOF — or the kNN-distance score when the legacy
+	// UseKNNScore flag is set; it is an error to combine UseKNNScore
+	// with a conflicting Scorer value.
+	Scorer string
+}
+
+// validate rejects out-of-range option values at the API boundary. Zero
+// values remain "use the default"; values that cannot mean anything are
+// errors instead of being silently replaced.
+func (o Options) validate() error {
+	if o.M < 0 {
+		return fmt.Errorf("hics: M must be positive, got %d (0 selects the default %d)", o.M, core.DefaultM)
+	}
+	// The condition is phrased positively so NaN (for which every
+	// comparison is false) is rejected too.
+	if o.Alpha != 0 && !(o.Alpha > 0 && o.Alpha < 1) {
+		return fmt.Errorf("hics: Alpha must be in (0,1), got %g (0 selects the default %g)", o.Alpha, core.DefaultAlpha)
+	}
+	if o.MinPts < 0 {
+		return fmt.Errorf("hics: MinPts must be positive, got %d (0 selects the default %d)", o.MinPts, lof.DefaultMinPts)
+	}
+	if o.TopK < -1 {
+		return fmt.Errorf("hics: TopK must be positive, got %d (0 selects the default %d, -1 keeps all subspaces)", o.TopK, core.DefaultTopK)
+	}
+	// Method names are validated here too, so every entry point — even
+	// SearchSubspaces, which never constructs the scorer — rejects an
+	// unknown name with the full list of valid values.
+	search, scorer, err := o.methodNames()
+	if err != nil {
+		return err
+	}
+	if !registry.KnownSearcher(search) {
+		_, err := registry.NewSearcher(search, registry.SearcherOptions{})
+		return err
+	}
+	if !registry.KnownScorer(scorer) {
+		_, err := registry.NewScorer(scorer, registry.ScorerOptions{})
+		return err
+	}
+	return nil
+}
+
+// methodNames resolves the Search/Scorer registry names, applying the
+// defaults and the legacy UseKNNScore flag.
+func (o Options) methodNames() (search, scorer string, err error) {
+	search = o.Search
+	if search == "" {
+		search = registry.DefaultSearcher
+	}
+	scorer = o.Scorer
+	if scorer == "" {
+		if o.UseKNNScore {
+			scorer = "knn"
+		} else {
+			scorer = registry.DefaultScorer
+		}
+	} else if o.UseKNNScore && scorer != "knn" {
+		return "", "", fmt.Errorf("hics: Scorer %q conflicts with UseKNNScore", o.Scorer)
+	}
+	return search, scorer, nil
+}
+
+// searcherOptions maps the shared option fields onto every registered
+// searcher's option struct; p carries the already-resolved HiCS params.
+func (o Options) searcherOptions(p core.Params) registry.SearcherOptions {
+	count := 0
+	if o.TopK > 0 {
+		count = o.TopK
+	}
+	return registry.SearcherOptions{
+		HiCS:    p,
+		Enclus:  enclus.Params{TopK: o.TopK, Cutoff: o.CandidateCutoff, MaxDim: o.MaxDim},
+		RIS:     ris.Params{TopK: o.TopK, Cutoff: o.CandidateCutoff, MaxDim: o.MaxDim, MinPts: o.MinPts},
+		RandSub: randsub.Params{Count: count, Seed: o.Seed, MaxDim: o.MaxDim},
+		Surfing: surfing.Params{K: o.MinPts, TopK: o.TopK, Cutoff: o.CandidateCutoff, MaxDim: o.MaxDim},
+	}
+}
+
+// scorerOptions maps the shared option fields onto every registered
+// scorer's option struct.
+func (o Options) scorerOptions() registry.ScorerOptions {
+	return registry.ScorerOptions{
+		LOF:  registry.LOFOptions{MinPts: o.MinPts},
+		KNN:  registry.KNNOptions{K: o.MinPts},
+		ORCA: registry.ORCAOptions{K: o.MinPts, Seed: o.Seed},
+	}
 }
 
 func (o Options) coreParams() (core.Params, error) {
+	if err := o.validate(); err != nil {
+		return core.Params{}, err
+	}
 	p := core.Params{
 		M:       o.M,
 		Alpha:   o.Alpha,
@@ -126,7 +236,8 @@ func (o Options) aggregation() (ranking.Aggregation, error) {
 	return agg, nil
 }
 
-// pipeline assembles the two-step ranking pipeline Rank and Fit share.
+// pipeline assembles the two-step ranking pipeline Rank and Fit share,
+// resolving the Search/Scorer registry names.
 func (o Options) pipeline() (ranking.Pipeline, error) {
 	p, err := o.coreParams()
 	if err != nil {
@@ -140,19 +251,19 @@ func (o Options) pipeline() (ranking.Pipeline, error) {
 	if err != nil {
 		return ranking.Pipeline{}, err
 	}
+	search, scorer, err := o.methodNames()
+	if err != nil {
+		return ranking.Pipeline{}, err
+	}
 	// The scorers are left on their zero-value (auto) index; Pipeline.Index
 	// is the single place the resolved kind is applied.
-	var scorer ranking.Scorer = ranking.LOFScorer{MinPts: o.MinPts}
-	if o.UseKNNScore {
-		scorer = ranking.KNNScorer{K: o.MinPts}
-	}
-	return ranking.Pipeline{
-		Searcher:     &core.Searcher{Params: p},
-		Scorer:       scorer,
+	return registry.NewPipeline(search, scorer, registry.PipelineOptions{
+		Searchers:    o.searcherOptions(p),
+		Scorers:      o.scorerOptions(),
 		Agg:          agg,
-		MaxSubspaces: -1, // the searcher already applies TopK
+		MaxSubspaces: -1, // every registered searcher already applies TopK
 		Index:        kind,
-	}, nil
+	})
 }
 
 // Subspace is one scored projection of the attribute space.
@@ -249,8 +360,9 @@ func toDataset(rows [][]float64) (*dataset.Dataset, error) {
 	return dataset.FromRows(nil, rows)
 }
 
-// SearchSubspaces runs the HiCS subspace search on row-major data and
-// returns the high-contrast projections in descending contrast order.
+// SearchSubspaces runs the subspace search selected by opts.Search (the
+// HiCS contrast search by default) on row-major data and returns the
+// scored projections in descending quality order.
 func SearchSubspaces(rows [][]float64, opts Options) ([]Subspace, error) {
 	ds, err := toDataset(rows)
 	if err != nil {
@@ -260,12 +372,20 @@ func SearchSubspaces(rows [][]float64, opts Options) ([]Subspace, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Search(ds, p)
+	search, _, err := opts.methodNames()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Subspace, len(res.Subspaces))
-	for i, sc := range res.Subspaces {
+	s, err := registry.NewSearcher(search, opts.searcherOptions(p))
+	if err != nil {
+		return nil, err
+	}
+	subs, err := s.Search(ds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Subspace, len(subs))
+	for i, sc := range subs {
 		out[i] = Subspace{Dims: append([]int(nil), sc.S...), Contrast: sc.Score}
 	}
 	return out, nil
@@ -320,5 +440,18 @@ func LOFScores(rows [][]float64, minPts int) ([]float64, error) {
 	return lof.Scores(ds, subspace.Full(ds.D()), minPts)
 }
 
+// SearcherNames lists the subspace-search method names Options.Search
+// accepts, sorted.
+func SearcherNames() []string { return registry.SearcherNames() }
+
+// ScorerNames lists the density-scorer names Options.Scorer accepts,
+// sorted.
+func ScorerNames() []string { return registry.ScorerNames() }
+
+// FitScorerNames lists the scorer names that support the fit/score split,
+// i.e. the values of Options.Scorer that Fit (and model persistence)
+// accepts.
+func FitScorerNames() []string { return registry.FitScorerNames() }
+
 // Version identifies the library release.
-const Version = "1.1.0"
+const Version = "1.2.0"

@@ -3,6 +3,7 @@ package hics
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"hics/internal/eval"
@@ -170,6 +171,80 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := Contrast(rows, []int{0}, Options{}); err == nil {
 		t.Error("1-d contrast should fail")
+	}
+}
+
+// Out-of-range option values must be rejected at the API boundary — with
+// the offending field named in the error — instead of silently deferring
+// to defaults.
+func TestOptionRangeValidation(t *testing.T) {
+	rows := demoRows(7, 50, 3)
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring the error must contain
+	}{
+		{"negative M", Options{M: -1}, "M"},
+		{"negative Alpha", Options{Alpha: -0.1}, "Alpha"},
+		{"Alpha one", Options{Alpha: 1}, "Alpha"},
+		{"Alpha above one", Options{Alpha: 1.5}, "Alpha"},
+		{"Alpha NaN", Options{Alpha: math.NaN()}, "Alpha"},
+		{"negative MinPts", Options{MinPts: -3}, "MinPts"},
+		{"TopK below -1", Options{TopK: -2}, "TopK"},
+		{"unknown searcher", Options{Search: "bogus"}, "searcher"},
+		{"unknown scorer", Options{Scorer: "bogus"}, "scorer"},
+		{"scorer conflicts with UseKNNScore", Options{Scorer: "lof", UseKNNScore: true}, "UseKNNScore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for entry, f := range map[string]func() error{
+				"Rank": func() error { _, err := Rank(rows, tc.opts); return err },
+				"Fit":  func() error { _, err := Fit(rows, tc.opts); return err },
+				"SearchSubspaces": func() error {
+					_, err := SearchSubspaces(rows, tc.opts)
+					return err
+				},
+			} {
+				err := f()
+				if err == nil {
+					t.Fatalf("%s accepted %+v", entry, tc.opts)
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("%s error %q does not mention %q", entry, err, tc.want)
+				}
+			}
+		})
+	}
+	// Boundary values that must stay valid: zeros defer to defaults, -1
+	// keeps all subspaces.
+	for _, ok := range []Options{{}, {TopK: -1, M: 5, Seed: 1}} {
+		if _, err := SearchSubspaces(rows, ok); err != nil {
+			t.Errorf("valid options %+v rejected: %v", ok, err)
+		}
+	}
+}
+
+// Every registry-listed searcher and scorer name must run end-to-end
+// through Rank. Sizes are kept tiny — the full-size matrix lives in
+// integration_test.go; this is the always-on guard that no registered
+// name is unreachable from the public API.
+func TestRankEveryRegistryMethod(t *testing.T) {
+	rows := demoRows(11, 80, 4)
+	for _, search := range SearcherNames() {
+		for _, scorer := range ScorerNames() {
+			opts := Options{M: 5, TopK: 8, Seed: 3, Search: search, Scorer: scorer}
+			res, err := Rank(rows, opts)
+			if err != nil {
+				t.Errorf("Rank(%s, %s): %v", search, scorer, err)
+				continue
+			}
+			if len(res.Scores) != len(rows) {
+				t.Errorf("Rank(%s, %s): %d scores for %d rows", search, scorer, len(res.Scores), len(rows))
+			}
+			if len(res.Subspaces) == 0 {
+				t.Errorf("Rank(%s, %s): no subspaces", search, scorer)
+			}
+		}
 	}
 }
 

@@ -1,62 +1,48 @@
 package hics
 
 // Integration tests exercising the decoupled two-step matrix end-to-end:
-// every subspace searcher combined with every scorer on one benchmark,
-// verifying the modularity claim the paper's introduction makes — "one
-// can design and combine the respective algorithms in a modular fashion".
+// every registry-listed subspace searcher combined with every scorer on
+// one benchmark, through the public Rank entry point, verifying the
+// modularity claim the paper's introduction makes — "one can design and
+// combine the respective algorithms in a modular fashion".
 
 import (
 	"fmt"
 	"testing"
 
 	"hics/internal/core"
-	"hics/internal/enclus"
 	"hics/internal/eval"
-	"hics/internal/lof"
-	"hics/internal/orca"
-	"hics/internal/outres"
 	"hics/internal/randsub"
 	"hics/internal/ranking"
-	"hics/internal/ris"
-	"hics/internal/surfing"
 	"hics/internal/synth"
 )
 
 func TestSearcherScorerMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full searcher x scorer matrix takes minutes under -race; run without -short")
+		t.Skip("full-size searcher x scorer matrix is slow under -race; the tiny always-on variant lives in hics_test.go")
 	}
 	b, err := synth.Generate(synth.Config{N: 300, D: 10, MinSubspaceDim: 2, MaxSubspaceDim: 3, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := b.Data.Data
+	rows := make([][]float64, b.Data.Data.N())
+	for i := range rows {
+		rows[i] = b.Data.Data.Row(i, nil)
+	}
 
-	searchers := []ranking.SubspaceSearcher{
-		&core.Searcher{Params: core.Params{M: 15, Seed: 1, TopK: 20}},
-		&enclus.Searcher{Params: enclus.Params{TopK: 20}},
-		&ris.Searcher{Params: ris.Params{TopK: 20}},
-		&surfing.Searcher{Params: surfing.Params{TopK: 20}},
-		&randsub.Searcher{Params: randsub.Params{Count: 20, MinDim: 2, MaxDim: 4, Seed: 1}},
-		ranking.FullSpace{},
-	}
-	scorers := []ranking.Scorer{
-		ranking.LOFScorer{MinPts: lof.DefaultMinPts},
-		ranking.KNNScorer{K: 10},
-		orca.Scorer{K: 10, TopN: 30, Seed: 1},
-		outres.Scorer{},
-	}
-	for _, s := range searchers {
-		for _, sc := range scorers {
-			name := fmt.Sprintf("%s+%s", s.Name(), sc.Name())
+	for _, search := range SearcherNames() {
+		for _, scorer := range ScorerNames() {
+			name := fmt.Sprintf("%s+%s", search, scorer)
 			t.Run(name, func(t *testing.T) {
-				pipe := ranking.Pipeline{Searcher: s, Scorer: sc}
-				res, err := pipe.Rank(ds)
+				res, err := Rank(rows, Options{
+					M: 15, Seed: 1, TopK: 20, MaxDim: 4,
+					Search: search, Scorer: scorer,
+				})
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
-				if len(res.Scores) != ds.N() {
-					t.Fatalf("%s: %d scores for %d objects", name, len(res.Scores), ds.N())
+				if len(res.Scores) != len(rows) {
+					t.Fatalf("%s: %d scores for %d objects", name, len(res.Scores), len(rows))
 				}
 				auc, err := eval.AUC(res.Scores, b.Data.Outlier)
 				if err != nil {

@@ -28,11 +28,7 @@ func AblationWTvsKS(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			p := hicsParams(cfg.Seed)
 			p.Test = tt
-			pipe := ranking.Pipeline{
-				Searcher: &core.Searcher{Params: p},
-				Scorer:   paperLOF(cfg),
-			}
-			auc, elapsed, err := rankAUC(pipe, l)
+			auc, elapsed, err := rankAUC(cfg.hicsVariant(p), l)
 			if err != nil {
 				return err
 			}
@@ -60,11 +56,8 @@ func AblationAggregation(w io.Writer, cfg Config) error {
 	for _, agg := range []ranking.Aggregation{ranking.Average, ranking.Max} {
 		var aucs []float64
 		for _, l := range data {
-			pipe := ranking.Pipeline{
-				Searcher: &core.Searcher{Params: hicsParams(cfg.Seed)},
-				Scorer:   paperLOF(cfg),
-				Agg:      agg,
-			}
+			pipe := cfg.pipeline("hics", "lof", cfg.Seed)
+			pipe.Agg = agg
 			auc, _, err := rankAUC(pipe, l)
 			if err != nil {
 				return err
@@ -92,11 +85,7 @@ func AblationPruning(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			p := hicsParams(cfg.Seed)
 			p.DisablePruning = disable
-			pipe := ranking.Pipeline{
-				Searcher: &core.Searcher{Params: p},
-				Scorer:   paperLOF(cfg),
-			}
-			auc, _, err := rankAUC(pipe, l)
+			auc, _, err := rankAUC(cfg.hicsVariant(p), l)
 			if err != nil {
 				return err
 			}
@@ -122,16 +111,10 @@ func AblationScorer(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(w, "# Ablation — LOF vs kNN-distance scorer in the ranking step")
 	fmt.Fprintf(w, "%-10s %10s %12s\n", "scorer", "AUC", "runtime")
-	for _, scorer := range []ranking.Scorer{
-		paperLOF(cfg),
-		paperKNN(cfg),
-	} {
+	for _, scorer := range []string{"lof", "knn"} {
 		var aucs, secs []float64
+		pipe := cfg.pipeline("hics", scorer, cfg.Seed)
 		for _, l := range data {
-			pipe := ranking.Pipeline{
-				Searcher: &core.Searcher{Params: hicsParams(cfg.Seed)},
-				Scorer:   scorer,
-			}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
 				return err
@@ -141,7 +124,7 @@ func AblationScorer(w io.Writer, cfg Config) error {
 		}
 		aucMean, _ := eval.MeanStd(aucs)
 		secMean, _ := eval.MeanStd(secs)
-		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", scorer.Name(), 100*aucMean, secMean)
+		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", pipe.Scorer.Name(), 100*aucMean, secMean)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 
 	"hics/internal/core"
@@ -17,7 +18,9 @@ import (
 	"hics/internal/neighbors"
 	"hics/internal/randsub"
 	"hics/internal/ranking"
+	"hics/internal/registry"
 	"hics/internal/ris"
+	"hics/internal/surfing"
 )
 
 // displayName strips the scorer suffix from pipeline names so tables use
@@ -41,6 +44,11 @@ type Config struct {
 	Seed uint64
 	// MinPts is the shared LOF neighborhood size (0 = 10, as everywhere).
 	MinPts int
+	// Searchers restricts the subspace-method competitor set to these
+	// registry names; nil selects the paper's set (hics, enclus, ris,
+	// randsub). The full-space LOF baseline and the PCA variants of the
+	// quality figures are not affected.
+	Searchers []string
 }
 
 // sizing collects every experiment's workload parameters for one mode.
@@ -103,67 +111,89 @@ func (c Config) minPts() int {
 	return 10
 }
 
-// paperLOF is the LOF scorer of the paper's evaluation, pinned to the
-// brute-force neighbor index: the runtime figures (Fig. 5, Fig. 6, Fig. 9)
-// are calibrated against the quadratic ranking step, and letting the
-// automatic index selection swap in the k-d tree would silently change the
-// measured curves (scores are bit-identical either way).
-func paperLOF(cfg Config) ranking.LOFScorer {
-	return ranking.LOFScorer{MinPts: cfg.minPts(), Index: neighbors.KindBrute}
-}
-
-// paperKNN is the kNN-distance scorer with the same pinned backend.
-func paperKNN(cfg Config) ranking.KNNScorer {
-	return ranking.KNNScorer{K: cfg.minPts(), Index: neighbors.KindBrute}
-}
-
 // hicsParams returns the paper-default HiCS parameters with the given seed.
 func hicsParams(seed uint64) core.Params {
 	return core.Params{M: core.DefaultM, Alpha: core.DefaultAlpha, Cutoff: core.DefaultCutoff, TopK: core.DefaultTopK, Seed: seed}
 }
 
-// newHiCS builds the HiCS+LOF pipeline with paper defaults.
-func newHiCS(cfg Config, seed uint64) ranking.Pipeline {
-	return ranking.Pipeline{
-		Searcher: &core.Searcher{Params: hicsParams(seed)},
-		Scorer:   paperLOF(cfg),
+// searcherOptions carries the paper's per-method search parameters: every
+// competitor gets the "best 100 subspaces" budget of Sec. V.
+func (c Config) searcherOptions(seed uint64) registry.SearcherOptions {
+	return registry.SearcherOptions{
+		HiCS:    hicsParams(seed),
+		Enclus:  enclus.Params{TopK: 100},
+		RIS:     ris.Params{TopK: 100},
+		RandSub: randsub.Params{Count: 100, Seed: seed},
+		Surfing: surfing.Params{K: c.minPts(), TopK: 100},
 	}
+}
+
+// scorerOptions carries the paper's scorer parameterization, pinned to the
+// brute-force neighbor index: the runtime figures (Fig. 5, Fig. 6, Fig. 9)
+// are calibrated against the quadratic ranking step, and letting the
+// automatic index selection swap in the k-d tree would silently change the
+// measured curves (scores are bit-identical either way).
+func (c Config) scorerOptions() registry.ScorerOptions {
+	return registry.ScorerOptions{
+		LOF:    registry.LOFOptions{MinPts: c.minPts(), Index: neighbors.KindBrute},
+		KNN:    registry.KNNOptions{K: c.minPts(), Index: neighbors.KindBrute},
+		ORCA:   registry.ORCAOptions{K: c.minPts(), TopN: 50, Seed: c.Seed, Index: neighbors.KindBrute},
+		OUTRES: registry.OUTRESOptions{},
+	}
+}
+
+// pipeline resolves one registry (searcher, scorer) name pair with the
+// shared evaluation options. Method names reaching this point were either
+// written as literals here or validated at the cmd/hicsbench boundary, so
+// a resolution failure is a programming error.
+func (c Config) pipeline(search, scorer string, seed uint64) ranking.Pipeline {
+	pipe, err := registry.NewPipeline(search, scorer, registry.PipelineOptions{
+		Searchers: c.searcherOptions(seed),
+		Scorers:   c.scorerOptions(),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return pipe
+}
+
+// scorer resolves one registry scorer name with the shared evaluation
+// options, for the pipelines assembled outside the two-step registry
+// matrix (PCA).
+func (c Config) scorer(name string) ranking.Scorer {
+	sc, err := registry.NewScorer(name, c.scorerOptions())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return sc
+}
+
+// hicsVariant builds a HiCS+LOF pipeline with custom search parameters,
+// for the parameter sweeps (Fig. 7–9) and statistical-test ablations.
+func (c Config) hicsVariant(p core.Params) ranking.Pipeline {
+	so := c.searcherOptions(p.Seed)
+	so.HiCS = p
+	pipe, err := registry.NewPipeline("hics", "lof", registry.PipelineOptions{
+		Searchers: so,
+		Scorers:   c.scorerOptions(),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return pipe
 }
 
 // newLOF builds the full-space LOF baseline.
-func newLOF(cfg Config) ranking.Pipeline {
-	return ranking.Pipeline{Searcher: ranking.FullSpace{}, Scorer: paperLOF(cfg)}
-}
+func newLOF(cfg Config) ranking.Pipeline { return cfg.pipeline("fullspace", "lof", cfg.Seed) }
 
-// newEnclus builds the Enclus+LOF competitor.
-func newEnclus(cfg Config) ranking.Pipeline {
-	return ranking.Pipeline{
-		Searcher: &enclus.Searcher{Params: enclus.Params{TopK: 100}},
-		Scorer:   paperLOF(cfg),
-	}
-}
-
-// newRIS builds the RIS+LOF competitor.
-func newRIS(cfg Config) ranking.Pipeline {
-	return ranking.Pipeline{
-		Searcher: &ris.Searcher{Params: ris.Params{TopK: 100}},
-		Scorer:   paperLOF(cfg),
-	}
-}
-
-// newRandSub builds the feature-bagging baseline.
-func newRandSub(cfg Config, seed uint64) ranking.Pipeline {
-	return ranking.Pipeline{
-		Searcher: &randsub.Searcher{Params: randsub.Params{Count: 100, Seed: seed}},
-		Scorer:   paperLOF(cfg),
-	}
-}
-
-// newPCALOF1 reduces to 50% of the attributes before full-space LOF.
+// newPCALOF1 reduces to 50% of the attributes before full-space LOF. PCA
+// transforms objects instead of selecting attribute subsets, so it stays
+// outside the searcher registry (the paper's argument for why it is not a
+// subspace search method).
 func newPCALOF1(cfg Config) ranking.PCAPipeline {
 	return ranking.PCAPipeline{
 		Components: func(d int) int { return (d + 1) / 2 },
-		Scorer:     paperLOF(cfg),
+		Scorer:     cfg.scorer("lof"),
 		Label:      "PCALOF1",
 	}
 }
@@ -172,31 +202,57 @@ func newPCALOF1(cfg Config) ranking.PCAPipeline {
 func newPCALOF2(cfg Config) ranking.PCAPipeline {
 	return ranking.PCAPipeline{
 		Components: func(d int) int { return 10 },
-		Scorer:     paperLOF(cfg),
+		Scorer:     cfg.scorer("lof"),
 		Label:      "PCALOF2",
 	}
 }
 
-// subspaceCompetitors returns the competitor set of the runtime figures
-// (Fig. 5/6): the methods based on subspace rankings.
-func subspaceCompetitors(cfg Config, seed uint64) []ranking.Ranker {
-	return []ranking.Ranker{
-		newHiCS(cfg, seed),
-		newEnclus(cfg),
-		newRIS(cfg),
-		newRandSub(cfg, seed),
-	}
+// cacheKey is the comparable identity of a Config for memoization; the
+// Searchers slice is flattened.
+type cacheKey struct {
+	quick, medium bool
+	seed          uint64
+	minPts        int
+	searchers     string
 }
 
-// allCompetitors returns the full Fig. 4 competitor set.
-func allCompetitors(cfg Config, seed uint64) []ranking.Ranker {
-	return []ranking.Ranker{
-		newLOF(cfg),
-		newHiCS(cfg, seed),
-		newEnclus(cfg),
-		newRIS(cfg),
-		newRandSub(cfg, seed),
-		newPCALOF1(cfg),
-		newPCALOF2(cfg),
+func (c Config) key() cacheKey {
+	return cacheKey{c.Quick, c.Medium, c.Seed, c.MinPts, strings.Join(c.searcherSet(), ",")}
+}
+
+// searcherSet resolves the Config's subspace-method selection.
+func (c Config) searcherSet() []string {
+	if len(c.Searchers) > 0 {
+		return c.Searchers
 	}
+	return []string{"hics", "enclus", "ris", "randsub"}
+}
+
+// subspaceCompetitors returns the competitor set of the runtime figures
+// (Fig. 5/6): the methods based on subspace rankings, all sharing the LOF
+// ranking step.
+func subspaceCompetitors(cfg Config, seed uint64) []ranking.Ranker {
+	var out []ranking.Ranker
+	for _, name := range cfg.searcherSet() {
+		out = append(out, cfg.pipeline(name, "lof", seed))
+	}
+	return out
+}
+
+// allCompetitors returns the full Fig. 4 competitor set. The full-space
+// LOF baseline is always present, so a "fullspace" entry in the searcher
+// selection is dropped here — it would be the identical pipeline twice.
+func allCompetitors(cfg Config, seed uint64) []ranking.Ranker {
+	out := []ranking.Ranker{newLOF(cfg)}
+	sub := cfg
+	sub.Searchers = nil
+	for _, name := range cfg.searcherSet() {
+		if name != "fullspace" {
+			sub.Searchers = append(sub.Searchers, name)
+		}
+	}
+	if len(sub.Searchers) > 0 {
+		out = append(out, subspaceCompetitors(sub, seed)...)
+	}
+	return append(out, newPCALOF1(cfg), newPCALOF2(cfg))
 }

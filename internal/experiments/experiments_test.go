@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -18,6 +19,51 @@ func skipInShort(t *testing.T) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("experiment regeneration skipped in -short mode")
+	}
+}
+
+// The competitor sets are registry-driven: the default selection is the
+// paper's method set, and Config.Searchers swaps in any registered name.
+func TestCompetitorSelection(t *testing.T) {
+	cfg := quickCfg()
+	var names []string
+	for _, r := range subspaceCompetitors(cfg, 1) {
+		names = append(names, displayName(r))
+	}
+	want := []string{"HiCS", "Enclus", "RIS", "RANDSUB"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("default competitors = %v, want %v", names, want)
+	}
+
+	cfg.Searchers = []string{"surfing", "fullspace"}
+	names = names[:0]
+	for _, r := range subspaceCompetitors(cfg, 1) {
+		names = append(names, displayName(r))
+	}
+	if !reflect.DeepEqual(names, []string{"SURFING", "LOF"}) {
+		t.Errorf("selected competitors = %v, want [SURFING LOF]", names)
+	}
+
+	all := allCompetitors(quickCfg(), 1)
+	var allNames []string
+	for _, r := range all {
+		allNames = append(allNames, displayName(r))
+	}
+	wantAll := []string{"LOF", "HiCS", "Enclus", "RIS", "RANDSUB", "PCALOF1", "PCALOF2"}
+	if !reflect.DeepEqual(allNames, wantAll) {
+		t.Errorf("allCompetitors = %v, want %v", allNames, wantAll)
+	}
+
+	// Selecting fullspace must not duplicate the always-present LOF
+	// baseline in the quality figures.
+	dup := quickCfg()
+	dup.Searchers = []string{"fullspace", "surfing"}
+	allNames = allNames[:0]
+	for _, r := range allCompetitors(dup, 1) {
+		allNames = append(allNames, displayName(r))
+	}
+	if !reflect.DeepEqual(allNames, []string{"LOF", "SURFING", "PCALOF1", "PCALOF2"}) {
+		t.Errorf("allCompetitors with fullspace selected = %v, want single LOF", allNames)
 	}
 }
 

@@ -7,11 +7,6 @@ import (
 	"hics/internal/core"
 	"hics/internal/eval"
 	"hics/internal/ranking"
-	"hics/internal/surfing"
-
-	"hics/internal/neighbors"
-	"hics/internal/orca"
-	"hics/internal/outres"
 )
 
 // ExtTests evaluates all four statistical instantiations of the contrast
@@ -26,12 +21,11 @@ func ExtTests(w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Extension — all statistical instantiations of the contrast measure")
 	fmt.Fprintf(w, "%-10s %10s %12s\n", "variant", "AUC", "runtime")
 	for _, tt := range []core.Test{core.WelchT, core.KolmogorovSmirnov, core.MannWhitney, core.CramerVonMises} {
-		searcher := &core.Searcher{}
-		searcher.Params = hicsParams(cfg.Seed)
-		searcher.Params.Test = tt
+		p := hicsParams(cfg.Seed)
+		p.Test = tt
+		pipe := cfg.hicsVariant(p)
 		var aucs, secs []float64
 		for _, l := range data {
-			pipe := ranking.Pipeline{Searcher: searcher, Scorer: paperLOF(cfg)}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
 				return err
@@ -41,7 +35,7 @@ func ExtTests(w io.Writer, cfg Config) error {
 		}
 		aucMean, _ := eval.MeanStd(aucs)
 		secMean, _ := eval.MeanStd(secs)
-		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", searcher.Name(), 100*aucMean, secMean)
+		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", pipe.Searcher.Name(), 100*aucMean, secMean)
 	}
 	return nil
 }
@@ -60,24 +54,21 @@ func ExtScorers(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "%-16s %10s %12s\n", "scorer", "AUC", "runtime")
 	type entry struct {
 		label  string
-		scorer ranking.Scorer
+		scorer string
 		agg    ranking.Aggregation
 	}
 	entries := []entry{
-		{"LOF", paperLOF(cfg), ranking.Average},
-		{"kNN-dist", paperKNN(cfg), ranking.Average},
-		{"ORCA", orca.Scorer{K: cfg.minPts(), TopN: 50, Seed: cfg.Seed, Index: neighbors.KindBrute}, ranking.Average},
-		{"OUTRES", outres.Scorer{}, ranking.Average},
-		{"OUTRES-prod", outres.Scorer{}, ranking.Product},
+		{"LOF", "lof", ranking.Average},
+		{"kNN-dist", "knn", ranking.Average},
+		{"ORCA", "orca", ranking.Average},
+		{"OUTRES", "outres", ranking.Average},
+		{"OUTRES-prod", "outres", ranking.Product},
 	}
 	for _, e := range entries {
+		pipe := cfg.pipeline("hics", e.scorer, cfg.Seed)
+		pipe.Agg = e.agg
 		var aucs, secs []float64
 		for _, l := range data {
-			pipe := ranking.Pipeline{
-				Searcher: &core.Searcher{Params: hicsParams(cfg.Seed)},
-				Scorer:   e.scorer,
-				Agg:      e.agg,
-			}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
 				return err
@@ -103,18 +94,10 @@ func ExtSearchers(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(w, "# Extension — subspace searchers incl. SURFING (LOF ranking)")
 	fmt.Fprintf(w, "%-10s %10s %12s\n", "searcher", "AUC", "runtime")
-	searchers := []ranking.SubspaceSearcher{
-		&core.Searcher{Params: hicsParams(cfg.Seed)},
-		// Enclus/RIS via their pipeline builders to reuse defaults.
-		newEnclus(cfg).Searcher,
-		newRIS(cfg).Searcher,
-		&surfing.Searcher{Params: surfing.Params{K: cfg.minPts(), TopK: 100}},
-		newRandSub(cfg, cfg.Seed).Searcher,
-	}
-	for _, s := range searchers {
+	for _, name := range []string{"hics", "enclus", "ris", "surfing", "randsub"} {
+		pipe := cfg.pipeline(name, "lof", cfg.Seed)
 		var aucs, secs []float64
 		for _, l := range data {
-			pipe := ranking.Pipeline{Searcher: s, Scorer: paperLOF(cfg)}
 			auc, elapsed, err := rankAUC(pipe, l)
 			if err != nil {
 				return err
@@ -124,7 +107,7 @@ func ExtSearchers(w io.Writer, cfg Config) error {
 		}
 		aucMean, _ := eval.MeanStd(aucs)
 		secMean, _ := eval.MeanStd(secs)
-		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", s.Name(), 100*aucMean, secMean)
+		fmt.Fprintf(w, "%-10s %9.1f%% %11.2fs\n", pipe.Searcher.Name(), 100*aucMean, secMean)
 	}
 	return nil
 }
@@ -140,7 +123,7 @@ func ExtPrecision(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(w, "# Extension — precision metrics (average precision, P@n)")
 	fmt.Fprintf(w, "%-10s %10s %10s %10s\n", "method", "AUC", "AP", "P@n")
-	for _, r := range []ranking.Ranker{newLOF(cfg), newHiCS(cfg, cfg.Seed), newEnclus(cfg), newRandSub(cfg, cfg.Seed)} {
+	for _, r := range []ranking.Ranker{newLOF(cfg), cfg.pipeline("hics", "lof", cfg.Seed), cfg.pipeline("enclus", "lof", cfg.Seed), cfg.pipeline("randsub", "lof", cfg.Seed)} {
 		var aucs, aps, patns []float64
 		for _, l := range data {
 			res, err := r.Rank(l.Data)

@@ -41,13 +41,7 @@ func Fig10(w io.Writer, cfg Config) error {
 			fmt.Fprintf(w, " %8s", fmt.Sprintf("FPR=%.2f", f))
 		}
 		fmt.Fprintln(w, "      AUC")
-		for _, r := range []ranking.Ranker{
-			newLOF(cfg),
-			newHiCS(cfg, cfg.Seed),
-			newEnclus(cfg),
-			newRIS(cfg),
-			newRandSub(cfg, cfg.Seed),
-		} {
+		for _, r := range append([]ranking.Ranker{newLOF(cfg)}, subspaceCompetitors(cfg, cfg.Seed)...) {
 			res, err := r.Rank(l.Data)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", r.Name(), name, err)
@@ -100,13 +94,7 @@ func Fig11(w io.Writer, cfg Config) error {
 		fmt.Fprintf(w, "%-12s %8s |", spec.Name, fmt.Sprintf("%dx%d", l.Data.N(), l.Data.D()))
 		aucs := make([]float64, 0, 5)
 		secs := make([]float64, 0, 5)
-		for _, r := range []ranking.Ranker{
-			newLOF(cfg),
-			newHiCS(cfg, cfg.Seed),
-			newEnclus(cfg),
-			newRIS(cfg),
-			newRandSub(cfg, cfg.Seed),
-		} {
+		for _, r := range append([]ranking.Ranker{newLOF(cfg)}, subspaceCompetitors(cfg, cfg.Seed)...) {
 			auc, elapsed, err := rankAUC(r, l)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", r.Name(), spec.Name, err)

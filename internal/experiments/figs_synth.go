@@ -105,10 +105,10 @@ type dimsSweepResult struct {
 
 // dimsSweepCache memoizes the shared Fig4/Fig5 sweep per config so running
 // both subcommands in one process does not double the work.
-var dimsSweepCache = map[Config]*dimsSweepResult{}
+var dimsSweepCache = map[cacheKey]*dimsSweepResult{}
 
 func runDimsSweep(cfg Config) (*dimsSweepResult, error) {
-	if r, ok := dimsSweepCache[cfg]; ok {
+	if r, ok := dimsSweepCache[cfg.key()]; ok {
 		return r, nil
 	}
 	sz := cfg.sizing()
@@ -144,7 +144,7 @@ func runDimsSweep(cfg Config) (*dimsSweepResult, error) {
 			}
 		}
 	}
-	dimsSweepCache[cfg] = res
+	dimsSweepCache[cfg.key()] = res
 	return res, nil
 }
 
@@ -169,13 +169,7 @@ func Fig6(w io.Writer, cfg Config) error {
 		}
 		data[i] = l
 	}
-	for _, mk := range []func() ranking.Ranker{
-		func() ranking.Ranker { return newHiCS(cfg, cfg.Seed) },
-		func() ranking.Ranker { return newEnclus(cfg) },
-		func() ranking.Ranker { return newRIS(cfg) },
-		func() ranking.Ranker { return newRandSub(cfg, cfg.Seed) },
-	} {
-		r := mk()
+	for _, r := range subspaceCompetitors(cfg, cfg.Seed) {
 		fmt.Fprintf(w, "%-10s", displayName(r))
 		for i := range sizes {
 			_, elapsed, err := rankAUC(r, data[i])
@@ -233,11 +227,7 @@ func Fig7(w io.Writer, cfg Config) error {
 				p := hicsParams(cfg.Seed)
 				p.M = m
 				p.Test = tt
-				pipe := ranking.Pipeline{
-					Searcher: &core.Searcher{Params: p},
-					Scorer:   paperLOF(cfg),
-				}
-				auc, _, err := rankAUC(pipe, l)
+				auc, _, err := rankAUC(cfg.hicsVariant(p), l)
 				if err != nil {
 					return err
 				}
@@ -277,11 +267,7 @@ func Fig8(w io.Writer, cfg Config) error {
 				p := hicsParams(cfg.Seed)
 				p.Alpha = a
 				p.Test = tt
-				pipe := ranking.Pipeline{
-					Searcher: &core.Searcher{Params: p},
-					Scorer:   paperLOF(cfg),
-				}
-				auc, _, err := rankAUC(pipe, l)
+				auc, _, err := rankAUC(cfg.hicsVariant(p), l)
 				if err != nil {
 					return err
 				}
@@ -312,11 +298,7 @@ func Fig9(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			p := hicsParams(cfg.Seed)
 			p.Cutoff = cut
-			pipe := ranking.Pipeline{
-				Searcher: &core.Searcher{Params: p},
-				Scorer:   paperLOF(cfg),
-			}
-			auc, elapsed, err := rankAUC(pipe, l)
+			auc, elapsed, err := rankAUC(cfg.hicsVariant(p), l)
 			if err != nil {
 				return err
 			}

@@ -5,9 +5,12 @@
 // into the final outlier ranking (Definition 1).
 //
 // The decoupling is the point: every searcher in this repository (HiCS,
-// Enclus, RIS, RANDSUB, full space) plugs into every scorer (LOF, kNN)
-// without either knowing about the other, which is exactly the modularity
-// argument of the paper's introduction.
+// Enclus, RIS, RANDSUB, SURFING, full space) plugs into every scorer
+// (LOF, kNN, ORCA, OUTRES) without either knowing about the other, which
+// is exactly the modularity argument of the paper's introduction. The
+// internal/registry package names each implementation, so any
+// (searcher, scorer) pair is constructible from a pair of strings at
+// every entry point.
 package ranking
 
 import (

@@ -7,6 +7,8 @@
 //
 //	GET  /healthz  liveness plus model shape (objects, attributes,
 //	               subspaces)
+//	GET  /info     the served model's method pair (searcher, scorer),
+//	               subspace count, and persistence format version
 //	POST /score    score one point ({"point": [...]}) or a batch
 //	               ({"points": [[...], ...]}) against the model
 //
@@ -59,6 +61,21 @@ type Health struct {
 	Version    string `json:"version"`
 }
 
+// Info is the /info response body: the method pair the served model was
+// fitted with and the shape of its frozen state.
+type Info struct {
+	// Search and Scorer are the registry names of the model's method pair.
+	Search string `json:"search"`
+	Scorer string `json:"scorer"`
+	// Subspaces is the number of frozen projections the model scores in.
+	Subspaces int `json:"subspaces"`
+	// FormatVersion is the persistence format the model was loaded from.
+	FormatVersion int    `json:"format_version"`
+	Objects       int    `json:"objects"`
+	Attributes    int    `json:"attributes"`
+	Version       string `json:"version"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -77,6 +94,22 @@ func NewHandler(m *hics.Model) http.Handler {
 			Attributes: m.D(),
 			Subspaces:  len(m.Subspaces()),
 			Version:    hics.Version,
+		})
+	})
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+			return
+		}
+		writeJSON(w, http.StatusOK, Info{
+			Search:        m.SearchMethod(),
+			Scorer:        m.ScorerMethod(),
+			Subspaces:     len(m.Subspaces()),
+			FormatVersion: m.FormatVersion(),
+			Objects:       m.N(),
+			Attributes:    m.D(),
+			Version:       hics.Version,
 		})
 	})
 	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {

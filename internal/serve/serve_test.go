@@ -47,6 +47,46 @@ func postScore(t *testing.T, srv *httptest.Server, body string) (*http.Response,
 	return resp, sr, buf.String()
 }
 
+func TestInfo(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("info status %d", resp.StatusCode)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	want := Info{
+		Search:        "hics",
+		Scorer:        "lof",
+		Subspaces:     len(m.Subspaces()),
+		FormatVersion: 2,
+		Objects:       m.N(),
+		Attributes:    m.D(),
+		Version:       hics.Version,
+	}
+	if info != want {
+		t.Errorf("info = %+v, want %+v", info, want)
+	}
+
+	// Non-GET is rejected.
+	postResp, err := http.Post(srv.URL+"/info", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /info status %d, want %d", postResp.StatusCode, http.StatusMethodNotAllowed)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	m := fitModel(t)
 	srv := httptest.NewServer(NewHandler(m))

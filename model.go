@@ -9,12 +9,14 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 
 	"hics/internal/dataset"
 	"hics/internal/lof"
 	"hics/internal/neighbors"
 	"hics/internal/ranking"
+	"hics/internal/registry"
 	"hics/internal/subspace"
 )
 
@@ -29,9 +31,11 @@ type Model struct {
 	fp *ranking.FittedPipeline
 	ds *dataset.Dataset // training data, retained for Save
 
-	useKNN bool
-	minPts int // effective neighborhood size
-	agg    ranking.Aggregation
+	search  string // registry name of the subspace searcher
+	scorer  string // registry name of the density scorer
+	minPts  int    // effective neighborhood size
+	agg     ranking.Aggregation
+	version uint32 // persistence format the model was loaded from
 
 	subspaces   []Subspace
 	trainScores []float64
@@ -43,18 +47,31 @@ type Model struct {
 	keyBuf sync.Pool // *[]byte, per-query lookup-key scratch
 }
 
-// Fit runs the HiCS subspace search on row-major training data and
-// freezes a reusable scoring model. The model's training scores are
-// bit-for-bit the Rank scores for the same data and options.
+// Fit runs the subspace search selected by opts.Search once on row-major
+// training data and freezes a reusable scoring model. The scorer must
+// support the fit/score split (FitScorerNames lists the valid names). The
+// model's training scores are bit-for-bit the Rank scores for the same
+// data and options.
 func Fit(rows [][]float64, opts Options) (*Model, error) {
 	ds, err := toDataset(rows)
 	if err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	// Resolve the effective neighborhood size up front so the persisted
 	// model is self-describing.
 	if opts.MinPts < 1 {
 		opts.MinPts = lof.DefaultMinPts
+	}
+	search, scorer, err := opts.methodNames()
+	if err != nil {
+		return nil, err
+	}
+	if registry.KnownScorer(scorer) && !registry.ScorerSupportsFit(scorer) {
+		return nil, fmt.Errorf("hics: scorer %q does not support the fit/score split (supported: %s)",
+			scorer, strings.Join(registry.FitScorerNames(), ", "))
 	}
 	pipe, err := opts.pipeline()
 	if err != nil {
@@ -67,9 +84,11 @@ func Fit(rows [][]float64, opts Options) (*Model, error) {
 	m := &Model{
 		fp:          fp,
 		ds:          ds,
-		useKNN:      opts.UseKNNScore,
+		search:      search,
+		scorer:      scorer,
 		minPts:      opts.MinPts,
 		agg:         fp.Agg,
+		version:     modelFormatVersion,
 		trainScores: fp.Train,
 	}
 	m.subspaces = make([]Subspace, len(fp.Subspaces))
@@ -108,6 +127,18 @@ func (m *Model) D() int { return m.fp.D }
 
 // N returns the number of training objects.
 func (m *Model) N() int { return len(m.trainScores) }
+
+// SearchMethod returns the registry name of the subspace searcher the
+// model was fitted with ("hics", "enclus", ...).
+func (m *Model) SearchMethod() string { return m.search }
+
+// ScorerMethod returns the registry name of the density scorer the model
+// was fitted with ("lof" or "knn").
+func (m *Model) ScorerMethod() string { return m.scorer }
+
+// FormatVersion returns the persistence format version the model was
+// loaded from; freshly fitted models report the current format.
+func (m *Model) FormatVersion() int { return int(m.version) }
 
 // Subspaces returns the high-contrast projections the model scores in,
 // in descending contrast order.
@@ -228,10 +259,13 @@ const modelMagic = "HICSMODEL"
 
 // modelFormatVersion identifies the payload layout; bump on incompatible
 // changes so old readers fail loudly instead of misinterpreting state.
-const modelFormatVersion uint32 = 1
+// Version 2 records the (searcher, scorer) registry-name pair; version 1
+// (HiCS search, UseKNN flag) is still read.
+const modelFormatVersion uint32 = 2
 
-// savedSubspaceV1 is the persisted per-subspace state (format version 1).
-type savedSubspaceV1 struct {
+// savedSubspace is the persisted per-subspace state (identical layout in
+// formats 1 and 2).
+type savedSubspace struct {
 	Dims     []int
 	Contrast float64
 	// IndexKind is the resolved neighbor-index backend ("brute"/"kdtree");
@@ -243,7 +277,8 @@ type savedSubspaceV1 struct {
 	LRD   []float64
 }
 
-// modelFileV1 is the persisted model (format version 1).
+// modelFileV1 is the persisted model of format version 1: always the HiCS
+// search, the scorer reduced to a LOF-or-kNN flag.
 type modelFileV1 struct {
 	UseKNN bool
 	MinPts int
@@ -251,14 +286,29 @@ type modelFileV1 struct {
 	N, D   int
 	// Cols is the training data in the column-major internal layout.
 	Cols        [][]float64
-	Subspaces   []savedSubspaceV1
+	Subspaces   []savedSubspace
 	TrainScores []float64
 }
 
-// Save writes the model to w in the versioned binary format. The file
-// contains the training data, the selected subspaces with their fitted
-// scoring statistics, and the training scores; neighbor indices are
-// rebuilt deterministically on load.
+// modelFileV2 is the persisted model of format version 2, recording the
+// (searcher, scorer) registry-name pair the model was fitted with.
+type modelFileV2 struct {
+	Search string
+	Scorer string
+	MinPts int
+	Agg    string
+	N, D   int
+	// Cols is the training data in the column-major internal layout.
+	Cols        [][]float64
+	Subspaces   []savedSubspace
+	TrainScores []float64
+}
+
+// Save writes the model to w in the versioned binary format (current
+// version 2). The file records the (searcher, scorer) method pair, the
+// training data, the selected subspaces with their fitted scoring
+// statistics, and the training scores; neighbor indices are rebuilt
+// deterministically on load.
 func (m *Model) Save(w io.Writer) error {
 	if _, err := io.WriteString(w, modelMagic); err != nil {
 		return fmt.Errorf("hics: saving model: %w", err)
@@ -266,21 +316,22 @@ func (m *Model) Save(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, modelFormatVersion); err != nil {
 		return fmt.Errorf("hics: saving model: %w", err)
 	}
-	mf := modelFileV1{
-		UseKNN:      m.useKNN,
+	mf := modelFileV2{
+		Search:      m.search,
+		Scorer:      m.scorer,
 		MinPts:      m.minPts,
 		Agg:         m.agg.String(),
 		N:           m.ds.N(),
 		D:           m.ds.D(),
 		Cols:        make([][]float64, m.ds.D()),
-		Subspaces:   make([]savedSubspaceV1, len(m.fp.Scorers)),
+		Subspaces:   make([]savedSubspace, len(m.fp.Scorers)),
 		TrainScores: m.trainScores,
 	}
 	for d := range mf.Cols {
 		mf.Cols[d] = m.ds.Col(d)
 	}
 	for i, fs := range m.fp.Scorers {
-		sv := savedSubspaceV1{Dims: fs.Dims(), Contrast: m.subspaces[i].Contrast}
+		sv := savedSubspace{Dims: fs.Dims(), Contrast: m.subspaces[i].Contrast}
 		switch f := fs.(type) {
 		case *ranking.FittedLOFScorer:
 			sv.IndexKind = f.State.Kind().String()
@@ -300,8 +351,10 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // LoadModel reads a model previously written by Save and reassembles the
-// scoring state. The loaded model's Score is bit-for-bit identical to the
-// original's.
+// scoring state. Both format versions load: version 1 files are mapped to
+// the (hics, lof/knn) method pair they implied. Files recording a method
+// pair the registry cannot rebuild a fitted scorer for are rejected. The
+// loaded model's Score is bit-for-bit identical to the original's.
 func LoadModel(r io.Reader) (*Model, error) {
 	header := make([]byte, len(modelMagic)+4)
 	if _, err := io.ReadFull(r, header); err != nil {
@@ -311,12 +364,47 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, errors.New("hics: not a HiCS model file")
 	}
 	version := binary.LittleEndian.Uint32(header[len(modelMagic):])
-	if version != modelFormatVersion {
-		return nil, fmt.Errorf("hics: unsupported model format version %d (want %d)", version, modelFormatVersion)
+	var mf modelFileV2
+	switch version {
+	case 1:
+		var v1 modelFileV1
+		if err := gob.NewDecoder(r).Decode(&v1); err != nil {
+			return nil, fmt.Errorf("hics: loading model: %w", err)
+		}
+		mf = modelFileV2{
+			Search:      registry.DefaultSearcher,
+			Scorer:      "lof",
+			MinPts:      v1.MinPts,
+			Agg:         v1.Agg,
+			N:           v1.N,
+			D:           v1.D,
+			Cols:        v1.Cols,
+			Subspaces:   v1.Subspaces,
+			TrainScores: v1.TrainScores,
+		}
+		if v1.UseKNN {
+			mf.Scorer = "knn"
+		}
+	case 2:
+		if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+			return nil, fmt.Errorf("hics: loading model: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("hics: unsupported model format version %d (want 1 or 2)", version)
 	}
-	var mf modelFileV1
-	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, fmt.Errorf("hics: loading model: %w", err)
+	return assembleModel(mf, version)
+}
+
+// assembleModel validates a decoded model file and rebuilds the frozen
+// scoring state.
+func assembleModel(mf modelFileV2, version uint32) (*Model, error) {
+	if !registry.KnownSearcher(mf.Search) {
+		return nil, fmt.Errorf("hics: model file records unknown searcher %q (valid: %s)",
+			mf.Search, strings.Join(registry.SearcherNames(), ", "))
+	}
+	if !registry.ScorerSupportsFit(mf.Scorer) {
+		return nil, fmt.Errorf("hics: model file records scorer %q, which cannot be rebuilt (supported: %s)",
+			mf.Scorer, strings.Join(registry.FitScorerNames(), ", "))
 	}
 	if len(mf.Cols) != mf.D || mf.D == 0 {
 		return nil, fmt.Errorf("hics: model file has %d columns, header says %d", len(mf.Cols), mf.D)
@@ -350,9 +438,11 @@ func LoadModel(r io.Reader) (*Model, error) {
 	m := &Model{
 		fp:          fp,
 		ds:          ds,
-		useKNN:      mf.UseKNN,
+		search:      mf.Search,
+		scorer:      mf.Scorer,
 		minPts:      mf.MinPts,
 		agg:         agg,
+		version:     version,
 		subspaces:   make([]Subspace, len(mf.Subspaces)),
 		trainScores: mf.TrainScores,
 	}
@@ -365,18 +455,23 @@ func LoadModel(r io.Reader) (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
 		}
-		if mf.UseKNN {
+		switch mf.Scorer {
+		case "knn":
 			st, err := lof.NewFittedKNN(idx, mf.MinPts)
 			if err != nil {
 				return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
 			}
 			fp.Scorers[i] = &ranking.FittedKNNScorer{Subspace: sv.Dims, State: st}
-		} else {
+		case "lof":
 			st, err := lof.NewFitted(idx, mf.MinPts, sv.KDist, sv.LRD)
 			if err != nil {
 				return nil, fmt.Errorf("hics: loading model subspace %d: %w", i, err)
 			}
 			fp.Scorers[i] = &ranking.FittedLOFScorer{Subspace: sv.Dims, State: st}
+		default:
+			// Unreachable: ScorerSupportsFit admitted only lof and knn. A
+			// newly registered FitScorer must extend this switch.
+			return nil, fmt.Errorf("hics: model file records scorer %q with no rebuild path", mf.Scorer)
 		}
 		fp.Subspaces[i] = subspace.Scored{S: subspace.New(sv.Dims...), Score: sv.Contrast}
 		m.subspaces[i] = Subspace{Dims: append([]int(nil), sv.Dims...), Contrast: sv.Contrast}

@@ -2,7 +2,9 @@ package hics
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
@@ -323,6 +325,117 @@ func TestLoadModelRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadModel(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
 		t.Error("truncated payload should fail")
+	}
+}
+
+// The fit/score split must work for any searcher combined with any
+// FitScorer-capable scorer, and the persisted method pair must survive a
+// save/load round trip with identical scores.
+func TestModelMethodPairRoundTrip(t *testing.T) {
+	rows := demoRows(31, 200, 4)
+	queries := [][]float64{
+		{0.2, 0.8, 0.5, 0.5},
+		{0.7, 0.3, 0.1, 0.9},
+	}
+	for _, search := range SearcherNames() {
+		for _, scorer := range FitScorerNames() {
+			opts := Options{M: 8, TopK: 10, Seed: 31, Search: search, Scorer: scorer}
+			m, err := Fit(rows, opts)
+			if err != nil {
+				t.Fatalf("Fit(%s, %s): %v", search, scorer, err)
+			}
+			if m.SearchMethod() != search || m.ScorerMethod() != scorer {
+				t.Fatalf("fitted method pair = (%s, %s), want (%s, %s)",
+					m.SearchMethod(), m.ScorerMethod(), search, scorer)
+			}
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadModel(&buf)
+			if err != nil {
+				t.Fatalf("LoadModel(%s, %s): %v", search, scorer, err)
+			}
+			if loaded.SearchMethod() != search || loaded.ScorerMethod() != scorer {
+				t.Fatalf("loaded method pair = (%s, %s), want (%s, %s)",
+					loaded.SearchMethod(), loaded.ScorerMethod(), search, scorer)
+			}
+			if loaded.FormatVersion() != 2 {
+				t.Fatalf("loaded FormatVersion() = %d, want 2", loaded.FormatVersion())
+			}
+			for _, q := range queries {
+				a, err := m.Score(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := loaded.Score(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("(%s, %s): loaded Score = %v, original %v", search, scorer, b, a)
+				}
+			}
+		}
+	}
+}
+
+// Scorers without a fitted form must be rejected by Fit with an error
+// naming the supported ones, not fail deep inside the pipeline.
+func TestFitRejectsNonFitScorers(t *testing.T) {
+	rows := demoRows(32, 100, 3)
+	for _, scorer := range []string{"orca", "outres"} {
+		_, err := Fit(rows, Options{M: 5, Seed: 32, Scorer: scorer})
+		if err == nil {
+			t.Fatalf("Fit accepted scorer %q", scorer)
+		}
+		for _, want := range []string{scorer, "lof", "knn"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("Fit(%s) error %q does not mention %q", scorer, err, want)
+			}
+		}
+	}
+}
+
+// A model file recording a method pair the loader cannot rebuild must be
+// rejected even when the payload is otherwise intact.
+func TestLoadModelRejectsUnbuildablePair(t *testing.T) {
+	rows := demoRows(33, 100, 3)
+	m, err := Fit(rows, Options{M: 5, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(*modelFileV2)) []byte {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		var mf modelFileV2
+		if err := gob.NewDecoder(bytes.NewReader(raw[len(modelMagic)+4:])).Decode(&mf); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&mf)
+		var out bytes.Buffer
+		out.Write(raw[:len(modelMagic)+4])
+		if err := gob.NewEncoder(&out).Encode(&mf); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	badScorer := corrupt(func(mf *modelFileV2) { mf.Scorer = "outres" })
+	if _, err := LoadModel(bytes.NewReader(badScorer)); err == nil {
+		t.Error("scorer without a fitted form should be rejected")
+	} else if !strings.Contains(err.Error(), "outres") || !strings.Contains(err.Error(), "lof") {
+		t.Errorf("error %q should name the offender and the supported scorers", err)
+	}
+
+	badSearch := corrupt(func(mf *modelFileV2) { mf.Search = "quantum" })
+	if _, err := LoadModel(bytes.NewReader(badSearch)); err == nil {
+		t.Error("unknown searcher should be rejected")
+	} else if !strings.Contains(err.Error(), "quantum") || !strings.Contains(err.Error(), "hics") {
+		t.Errorf("error %q should name the offender and the valid searchers", err)
 	}
 }
 
