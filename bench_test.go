@@ -5,6 +5,7 @@
 package hics
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -36,7 +37,7 @@ func benchRun(b *testing.B, name string) {
 	cfg := experiments.Config{Quick: true, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := fn(io.Discard, cfg); err != nil {
+		if err := fn(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

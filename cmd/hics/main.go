@@ -19,12 +19,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"hics"
 	"hics/internal/core"
@@ -44,13 +48,22 @@ var (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hics:", err)
+	// Ctrl-C (or SIGTERM) cancels the in-flight search cooperatively: the
+	// Monte Carlo loops observe the context and the process exits cleanly
+	// instead of being killed mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hics: interrupted, stopping cleanly")
+		} else {
+			fmt.Fprintln(os.Stderr, "hics:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hics", flag.ContinueOnError)
 	var (
 		header      = fs.Bool("header", true, "first CSV row contains attribute names")
@@ -62,6 +75,7 @@ func run(args []string) error {
 		topk        = fs.Int("topk", core.DefaultTopK, "number of high-contrast subspaces to rank in")
 		minPts      = fs.Int("minpts", 10, "LOF MinPts neighborhood size")
 		seed        = fs.Uint64("seed", 0, "random seed")
+		workers     = fs.Int("workers", 0, "max goroutines evaluating subspace contrasts (0 = one per CPU)")
 		outl        = fs.Int("outliers", 10, "number of top outliers to print")
 		search      = fs.String("search", "hics", searchFlagUsage)
 		scorer      = fs.String("scorer", "lof", scorerFlagUsage)
@@ -103,7 +117,7 @@ func run(args []string) error {
 	// resolution behave identically at every entry point.
 	opts := hics.Options{
 		M: *m, Alpha: *alpha, CandidateCutoff: *cutoff, TopK: *topk,
-		Test: *test, Seed: *seed, MinPts: *minPts,
+		Test: *test, Seed: *seed, MinPts: *minPts, Workers: *workers,
 		Aggregation: *aggName, NeighborIndex: *index,
 		Search: *search, Scorer: *scorer,
 	}
@@ -116,7 +130,7 @@ func run(args []string) error {
 		if *saveModel != "" {
 			return fmt.Errorf("-save-model needs the ranking step; drop -subspaces-only")
 		}
-		subs, err := hics.SearchSubspaces(rows, opts)
+		subs, err := hics.SearchSubspacesContext(ctx, rows, opts)
 		if err != nil {
 			return err
 		}
@@ -132,7 +146,7 @@ func run(args []string) error {
 	if *saveModel != "" {
 		// The fit/score split: run the search once, freeze the model,
 		// report the (identical) training ranking, and persist for hicsd.
-		model, err := hics.Fit(rows, opts)
+		model, err := hics.FitContext(ctx, rows, opts)
 		if err != nil {
 			return err
 		}
@@ -153,7 +167,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := hics.Rank(rows, opts)
+	res, err := hics.RankContext(ctx, rows, opts)
 	if err != nil {
 		return err
 	}

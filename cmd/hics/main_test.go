@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -38,28 +39,28 @@ func writeTestCSV(t *testing.T) string {
 
 func TestRunEndToEnd(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run([]string{"-M", "10", "-topk", "5", "-outliers", "3", path}); err != nil {
+	if err := run(context.Background(), []string{"-M", "10", "-topk", "5", "-outliers", "3", "-workers", "2", path}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
 
 func TestRunSubspacesOnly(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run([]string{"-M", "10", "-subspaces-only", path}); err != nil {
+	if err := run(context.Background(), []string{"-M", "10", "-subspaces-only", path}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
 
 func TestRunKNNAndMax(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run([]string{"-M", "10", "-scorer", "knn", "-agg", "max", path}); err != nil {
+	if err := run(context.Background(), []string{"-M", "10", "-scorer", "knn", "-agg", "max", path}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
 
 func TestRunKSTest(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run([]string{"-M", "10", "-test", "ks", "-topk", "5", path}); err != nil {
+	if err := run(context.Background(), []string{"-M", "10", "-test", "ks", "-topk", "5", path}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
@@ -101,12 +102,12 @@ func TestAdvertisedNamesParse(t *testing.T) {
 func TestRunEveryRegistryMethod(t *testing.T) {
 	path := writeTestCSV(t)
 	for _, search := range registry.SearcherNames() {
-		if err := run([]string{"-M", "5", "-topk", "3", "-search", search, path}); err != nil {
+		if err := run(context.Background(), []string{"-M", "5", "-topk", "3", "-search", search, path}); err != nil {
 			t.Errorf("-search %s failed: %v", search, err)
 		}
 	}
 	for _, scorer := range registry.ScorerNames() {
-		if err := run([]string{"-M", "5", "-topk", "3", "-scorer", scorer, path}); err != nil {
+		if err := run(context.Background(), []string{"-M", "5", "-topk", "3", "-scorer", scorer, path}); err != nil {
 			t.Errorf("-scorer %s failed: %v", scorer, err)
 		}
 	}
@@ -127,7 +128,7 @@ func TestListMethods(t *testing.T) {
 		t.Errorf("-list-methods output does not mark fit-capable scorers:\n%s", out)
 	}
 	// The flag itself needs no input file.
-	if err := run([]string{"-list-methods"}); err != nil {
+	if err := run(context.Background(), []string{"-list-methods"}); err != nil {
 		t.Fatalf("-list-methods failed: %v", err)
 	}
 }
@@ -144,11 +145,12 @@ func TestRunSurfacesValidationErrors(t *testing.T) {
 		{[]string{"-M", "-2", path}, "M"},
 		{[]string{"-minpts", "-1", path}, "MinPts"},
 		{[]string{"-topk", "-5", path}, "TopK"},
+		{[]string{"-workers", "-2", path}, "Workers"},
 		{[]string{"-search", "bogus", path}, "valid"},
 		{[]string{"-scorer", "bogus", path}, "valid"},
 	}
 	for _, tc := range cases {
-		err := run(tc.args)
+		err := run(context.Background(), tc.args)
 		if err == nil {
 			t.Errorf("run(%v) accepted invalid flags", tc.args)
 			continue
@@ -179,7 +181,7 @@ func advertisedNames(t *testing.T, usage string) []string {
 func TestRunAllAdvertisedTests(t *testing.T) {
 	path := writeTestCSV(t)
 	for _, name := range []string{"welch", "ks", "mw", "cvm"} {
-		if err := run([]string{"-M", "5", "-topk", "3", "-test", name, path}); err != nil {
+		if err := run(context.Background(), []string{"-M", "5", "-topk", "3", "-test", name, path}); err != nil {
 			t.Errorf("-test %s failed: %v", name, err)
 		}
 	}
@@ -187,7 +189,7 @@ func TestRunAllAdvertisedTests(t *testing.T) {
 
 func TestRunProductAggregation(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run([]string{"-M", "10", "-agg", "product", path}); err != nil {
+	if err := run(context.Background(), []string{"-M", "10", "-agg", "product", path}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
@@ -195,7 +197,7 @@ func TestRunProductAggregation(t *testing.T) {
 func TestRunSaveModel(t *testing.T) {
 	path := writeTestCSV(t)
 	modelPath := filepath.Join(t.TempDir(), "model.hics")
-	if err := run([]string{"-M", "10", "-topk", "5", "-save-model", modelPath, path}); err != nil {
+	if err := run(context.Background(), []string{"-M", "10", "-topk", "5", "-save-model", modelPath, path}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 	f, err := os.Open(modelPath)
@@ -213,26 +215,26 @@ func TestRunSaveModel(t *testing.T) {
 	if _, err := m.Score(make([]float64, 6)); err != nil {
 		t.Errorf("saved model cannot score: %v", err)
 	}
-	if err := run([]string{"-subspaces-only", "-save-model", modelPath, path}); err == nil {
+	if err := run(context.Background(), []string{"-subspaces-only", "-save-model", modelPath, path}); err == nil {
 		t.Error("-save-model with -subspaces-only should fail")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}); err == nil {
 		t.Error("missing input should fail")
 	}
-	if err := run([]string{"/nonexistent/file.csv"}); err == nil {
+	if err := run(context.Background(), []string{"/nonexistent/file.csv"}); err == nil {
 		t.Error("missing file should fail")
 	}
 	path := writeTestCSV(t)
-	if err := run([]string{"-test", "bogus", path}); err == nil {
+	if err := run(context.Background(), []string{"-test", "bogus", path}); err == nil {
 		t.Error("bad test name should fail")
 	}
-	if err := run([]string{"-scorer", "bogus", path}); err == nil {
+	if err := run(context.Background(), []string{"-scorer", "bogus", path}); err == nil {
 		t.Error("bad scorer should fail")
 	}
-	if err := run([]string{"-agg", "bogus", path}); err == nil {
+	if err := run(context.Background(), []string{"-agg", "bogus", path}); err == nil {
 		t.Error("bad aggregation should fail")
 	}
 }

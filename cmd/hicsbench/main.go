@@ -19,12 +19,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"hics/internal/experiments"
@@ -32,13 +36,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hicsbench:", err)
+	// Ctrl-C (or SIGTERM) cancels the in-flight experiment cooperatively:
+	// the Monte Carlo loops observe the context and return promptly
+	// instead of the process dying mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hicsbench: interrupted, stopping cleanly")
+		} else {
+			fmt.Fprintln(os.Stderr, "hicsbench:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hicsbench", flag.ContinueOnError)
 	var (
 		quick     = fs.Bool("quick", false, "strongly reduced dataset sizes and sweeps (smoke test)")
@@ -126,7 +139,7 @@ func run(args []string) error {
 			w = io.MultiWriter(os.Stdout, f)
 		}
 		start := time.Now()
-		err := fn(w, cfg)
+		err := fn(ctx, w, cfg)
 		if f != nil {
 			f.Close()
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,14 +9,14 @@ import (
 )
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"list"}); err != nil {
+	if err := run(context.Background(), []string{"list"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-o", dir, "abl-agg"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-o", dir, "abl-agg"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "abl-agg.txt"))
@@ -28,24 +29,24 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}); err == nil {
 		t.Error("no experiment should fail")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := run(context.Background(), []string{"bogus"}); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	err := run([]string{"-searchers", "hics,quantum", "list"})
+	err := run(context.Background(), []string{"-searchers", "hics,quantum", "list"})
 	if err == nil {
 		t.Error("unknown searcher name should fail")
 	} else if !strings.Contains(err.Error(), "quantum") || !strings.Contains(err.Error(), "enclus") {
 		t.Errorf("error %q should name the offender and enumerate valid searchers", err)
 	}
 	// Empty tokens would silently resolve to the default searcher.
-	if err := run([]string{"-searchers", "hics,,", "list"}); err == nil {
+	if err := run(context.Background(), []string{"-searchers", "hics,,", "list"}); err == nil {
 		t.Error("empty -searchers token should fail")
 	}
 	// Valid selections parse; "list" exits before any experiment runs.
-	if err := run([]string{"-searchers", "surfing, fullspace", "list"}); err != nil {
+	if err := run(context.Background(), []string{"-searchers", "surfing, fullspace", "list"}); err != nil {
 		t.Errorf("valid -searchers rejected: %v", err)
 	}
 }

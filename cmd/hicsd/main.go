@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hicsd -model model.hics [-addr :8080]
+//	hicsd -model model.hics [-addr :8080] [-request-timeout 1m] [-workers N]
 //
 // The model file is produced by hics.Model.Save — most conveniently via
 // `hics -save-model model.hics data.csv`. The server loads it once at
@@ -11,18 +11,32 @@
 //	GET  /healthz  liveness and model shape
 //	GET  /info     method pair (searcher, scorer), subspace count, format version
 //	POST /score    {"point": [...]} or {"points": [[...], ...]}
+//	POST /rank     {"rows": [[...], ...], "options": {...}} — a full
+//	               deadlined HiCS ranking on the posted rows
 //
 // Scoring is out-of-sample against the frozen training state — the
 // Monte Carlo subspace search never runs at serving time, so a /score
 // round trip costs a handful of neighbor queries per selected subspace.
+// /rank does run the full search, which is why every request carries a
+// deadline: -request-timeout bounds the server-side compute, a client
+// disconnect cancels the in-flight work, and -workers caps how many CPUs
+// one request may occupy.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests for up to the shutdown grace period, and exits
+// cleanly — deploy targets can roll the daemon without dropping accepted
+// work.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hics"
@@ -30,20 +44,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hicsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// shutdownGrace bounds how long a SIGTERM waits for in-flight requests
+// before the remaining connections are closed forcefully.
+const shutdownGrace = 15 * time.Second
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hicsd", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "", "path to a saved model file (required)")
-		addr      = fs.String("addr", ":8080", "listen address")
+		modelPath  = fs.String("model", "", "path to a saved model file (required)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		reqTimeout = fs.Duration("request-timeout", time.Minute, "server-side compute budget per /score and /rank request (0 = unlimited)")
+		workers    = fs.Int("workers", 0, "max goroutines one request may fan out over (0 = one per CPU)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080]")
+		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080] [-request-timeout 1m] [-workers N]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -57,10 +79,17 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-model is required")
 	}
+	if *reqTimeout < 0 {
+		return fmt.Errorf("-request-timeout must be non-negative, got %v", *reqTimeout)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d (0 selects one per CPU)", *workers)
+	}
 	m, err := loadModel(*modelPath)
 	if err != nil {
 		return err
 	}
+	m.SetWorkers(*workers)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -68,17 +97,50 @@ func run(args []string) error {
 	fmt.Printf("hicsd: model %s (%s+%s, format v%d, %d objects x %d attributes, %d subspaces), listening on %s\n",
 		*modelPath, m.SearchMethod(), m.ScorerMethod(), m.FormatVersion(),
 		m.N(), m.D(), len(m.Subspaces()), ln.Addr())
+
+	// The write timeout must outlast the compute budget, or a request
+	// that legitimately uses its whole budget is cut off mid-response.
+	// An unlimited budget (0) therefore disables the write bound too —
+	// the read, header and idle timeouts still fence off slow clients.
+	writeTimeout := time.Duration(0)
+	if *reqTimeout > 0 {
+		writeTimeout = *reqTimeout + 10*time.Second
+		if writeTimeout < time.Minute {
+			writeTimeout = time.Minute
+		}
+	}
 	srv := &http.Server{
-		Handler: serve.NewHandler(m),
+		Handler: serve.New(serve.Config{
+			Model:          m,
+			RequestTimeout: *reqTimeout,
+			RankWorkers:    *workers,
+		}),
 		// Slow or idle clients must not pin goroutines and descriptors
-		// forever; scoring requests are small and fast, so tight limits
-		// are safe.
+		// forever: bound the header read, the body read, the response
+		// write, and keep-alive idling.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
-		WriteTimeout:      time.Minute,
+		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.Serve(ln)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Println("hicsd: shutdown signal received, draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close()
+			return fmt.Errorf("graceful shutdown: %w", err)
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		fmt.Println("hicsd: drained, exiting")
+		return nil
+	}
 }
 
 // loadModel reads and reassembles a saved model.

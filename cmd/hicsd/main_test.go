@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"hics"
 	"hics/internal/rng"
@@ -55,17 +60,92 @@ func TestLoadModel(t *testing.T) {
 }
 
 func TestRunArgumentErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}); err == nil {
 		t.Error("missing -model should fail")
 	}
-	if err := run([]string{"-model", writeModel(t), "extra"}); err == nil {
+	if err := run(context.Background(), []string{"-model", writeModel(t), "extra"}); err == nil {
 		t.Error("positional arguments should fail")
 	}
-	if err := run([]string{"-model", "/nonexistent/model.hics"}); err == nil {
+	if err := run(context.Background(), []string{"-model", "/nonexistent/model.hics"}); err == nil {
 		t.Error("missing model file should fail")
 	}
 	// A bad listen address fails after the model loads, before serving.
-	if err := run([]string{"-model", writeModel(t), "-addr", "256.0.0.1:http"}); err == nil {
+	if err := run(context.Background(), []string{"-model", writeModel(t), "-addr", "256.0.0.1:http"}); err == nil {
 		t.Error("bad address should fail")
+	}
+}
+
+// TestGracefulShutdown starts the server, waits until /healthz answers,
+// then cancels the run context (the signal path) and checks the server
+// drains and exits cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	// Reserve a loopback port for the server. Closing the listener before
+	// reusing the address is mildly racy, but loopback ports are not
+	// rebound in the microseconds this takes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	// The model is written on the test goroutine: writeModel uses t.Fatal
+	// and t.TempDir, which must not run on the server goroutine.
+	model := writeModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-model", model, "-addr", addr, "-request-timeout", "5s"})
+	}()
+
+	url := "http://" + addr + "/healthz"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before becoming healthy: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after cancellation")
+	}
+
+	// The listener is released: a new server can bind the address.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("address still bound after shutdown: %v", err)
+	}
+	ln2.Close()
+}
+
+// TestRunFlagValidation checks the new execution flags are validated at
+// the command boundary.
+func TestRunFlagValidation(t *testing.T) {
+	model := writeModel(t)
+	if err := run(context.Background(), []string{"-model", model, "-workers", "-1"}); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative -workers: err = %v, want mention of -workers", err)
+	}
+	if err := run(context.Background(), []string{"-model", model, "-request-timeout", "-5s"}); err == nil || !strings.Contains(err.Error(), "-request-timeout") {
+		t.Errorf("negative -request-timeout: err = %v, want mention of -request-timeout", err)
 	}
 }

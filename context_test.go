@@ -1,0 +1,289 @@
+package hics
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"hics/internal/rng"
+)
+
+// goroutineBaseline snapshots the goroutine count; waitGoroutines polls
+// until the count returns to (near) the baseline, failing the test on
+// timeout — the leak check of the cancellation contract.
+func goroutineBaseline() int { return runtime.NumGoroutine() }
+
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		// A small allowance absorbs runtime-internal goroutines (timers,
+		// GC workers) that come and go independently of the code under
+		// test.
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after cancellation", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// heavyOpts makes the subspace search expensive enough that a test can
+// reliably cancel it mid-run.
+func heavyOpts() Options { return Options{M: 2000, Seed: 1} }
+
+// TestRankContextPreCancelled checks an already-cancelled context never
+// starts the search.
+func TestRankContextPreCancelled(t *testing.T) {
+	rows := demoRows(1, 300, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RankContext(ctx, rows, heavyOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("pre-cancelled RankContext took %v, want an immediate return", elapsed)
+	}
+}
+
+// TestRankContextCancelMidSearch checks a context cancelled while the
+// Monte Carlo search is running surfaces ctx.Err() promptly — within one
+// Monte Carlo chunk — and leaves no worker goroutine behind.
+func TestRankContextCancelMidSearch(t *testing.T) {
+	rows := demoRows(1, 500, 12)
+	baseline := goroutineBaseline()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RankContext(ctx, rows, heavyOpts())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("rank finished in %v despite cancellation; result %d scores", elapsed, len(res.Scores))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The search alone takes many seconds at M=2000; a cooperative worker
+	// must abandon it within one Monte Carlo chunk of the cancellation.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled RankContext returned after %v, want a prompt exit", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestRankContextDeadline checks a deadlined context is honored and
+// reports context.DeadlineExceeded.
+func TestRankContextDeadline(t *testing.T) {
+	rows := demoRows(1, 500, 12)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := RankContext(ctx, rows, heavyOpts())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestFitContextCancelled checks the fit path shares the cancellation
+// semantics of the rank path.
+func TestFitContextCancelled(t *testing.T) {
+	rows := demoRows(1, 500, 12)
+	baseline := goroutineBaseline()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := FitContext(ctx, rows, heavyOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestSearchSubspacesContextCancelled checks the search-only entry point.
+func TestSearchSubspacesContextCancelled(t *testing.T) {
+	rows := demoRows(1, 500, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := SearchSubspacesContext(ctx, rows, heavyOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRankContextCancelMidScoring checks cancellation also lands inside
+// the scoring step: with the fullspace searcher there is no Monte Carlo
+// search at all — the whole run is one quadratic LOF batch pass, which
+// must stop within one chunk of neighborhood queries.
+func TestRankContextCancelMidScoring(t *testing.T) {
+	r := rng.New(11)
+	rows := make([][]float64, 6000)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	baseline := goroutineBaseline()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RankContext(ctx, rows, Options{Search: "fullspace", NeighborIndex: "brute", Seed: 1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled scoring pass returned after %v, want a prompt exit", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestScoreBatchContextCancelled checks batch scoring: an already-
+// cancelled context never starts work, and a cancellation mid-batch
+// returns ctx.Err() within a bounded wait with every worker joined.
+func TestScoreBatchContextCancelled(t *testing.T) {
+	train := demoRows(3, 150, 3)
+	m, err := Fit(train, Options{M: 10, Seed: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	queries := make([][]float64, 200_000)
+	for i := range queries {
+		queries[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := m.ScoreBatchContext(pre, queries); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+
+	baseline := goroutineBaseline()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = m.ScoreBatchContext(ctx, queries)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled ScoreBatchContext returned after %v, want a prompt exit", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestContextVariantsMatchPlainCalls checks the *Context entry points
+// under an uncancelled context are bit-for-bit identical to their plain
+// counterparts — the determinism half of the cancellation contract.
+func TestContextVariantsMatchPlainCalls(t *testing.T) {
+	rows := demoRows(5, 200, 5)
+	opts := Options{M: 20, Seed: 3, TopK: 5}
+	ctx := context.Background()
+
+	plain, err := Rank(rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := RankContext(ctx, rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Scores) != len(withCtx.Scores) {
+		t.Fatalf("score counts differ: %d vs %d", len(plain.Scores), len(withCtx.Scores))
+	}
+	for i := range plain.Scores {
+		if plain.Scores[i] != withCtx.Scores[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, plain.Scores[i], withCtx.Scores[i])
+		}
+	}
+
+	subs, err := SearchSubspaces(rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsCtx, err := SearchSubspacesContext(ctx, rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != len(subsCtx) {
+		t.Fatalf("subspace counts differ: %d vs %d", len(subs), len(subsCtx))
+	}
+	for i := range subs {
+		if subs[i].Contrast != subsCtx[i].Contrast {
+			t.Fatalf("subspace %d contrast differs: %v vs %v", i, subs[i].Contrast, subsCtx[i].Contrast)
+		}
+	}
+
+	m, err := FitContext(ctx, rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.ScoreBatchContext(ctx, rows[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBatch, err := m.ScoreBatch(rows[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if batch[i] != plainBatch[i] {
+			t.Fatalf("batch score %d differs: %v vs %v", i, batch[i], plainBatch[i])
+		}
+	}
+	for i, s := range m.TrainingScores() {
+		if s != plain.Scores[i] {
+			t.Fatalf("FitContext training score %d = %v, Rank score %v", i, s, plain.Scores[i])
+		}
+	}
+}
+
+// TestModelSetWorkers checks the batch parallelism bound produces
+// identical scores at every setting (determinism does not depend on the
+// worker count).
+func TestModelSetWorkers(t *testing.T) {
+	train := demoRows(3, 120, 3)
+	m, err := Fit(train, Options{M: 10, Seed: 1, TopK: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	queries := make([][]float64, 500)
+	for i := range queries {
+		queries[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ref, err := m.ScoreBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 0, -7} {
+		m.SetWorkers(workers)
+		got, err := m.ScoreBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: score %d = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -29,9 +29,19 @@
 //
 // All entry points accept row-major [][]float64 data; every row is one
 // object, every column one attribute.
+//
+// Every long-running entry point has a context-aware variant —
+// RankContext, FitContext, SearchSubspacesContext, Model.ScoreBatchContext
+// — whose Monte Carlo and scoring loops check the context cooperatively:
+// a cancelled or deadlined context makes the call return ctx.Err()
+// promptly without leaking goroutines, and an uncancelled call is
+// bit-for-bit identical to its plain counterpart (cancellation checks
+// never consume randomness). The context-free forms are thin
+// context.Background() wrappers.
 package hics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,8 +94,10 @@ type Options struct {
 	// Deprecated: use Aggregation = "max". Kept for compatibility; it is
 	// an error to combine it with a conflicting Aggregation value.
 	MaxAggregation bool
-	// Workers bounds the number of goroutines evaluating subspace
-	// contrasts; 0 means one per CPU.
+	// Workers bounds the goroutines of both pipeline steps — the subspace
+	// contrast evaluations and the batch neighborhood passes of the
+	// LOF/kNN scorers; 0 means one per CPU. Negative values are rejected.
+	// Results are bit-for-bit independent of the setting.
 	Workers int
 	// MaxDim caps the dimensionality of generated subspace candidates;
 	// 0 means unbounded.
@@ -129,6 +141,9 @@ func (o Options) validate() error {
 	}
 	if o.TopK < -1 {
 		return fmt.Errorf("hics: TopK must be positive, got %d (0 selects the default %d, -1 keeps all subspaces)", o.TopK, core.DefaultTopK)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("hics: Workers must be non-negative, got %d (0 selects one worker per CPU)", o.Workers)
 	}
 	// Method names are validated here too, so every entry point — even
 	// SearchSubspaces, which never constructs the scorer — rejects an
@@ -256,13 +271,15 @@ func (o Options) pipeline() (ranking.Pipeline, error) {
 		return ranking.Pipeline{}, err
 	}
 	// The scorers are left on their zero-value (auto) index; Pipeline.Index
-	// is the single place the resolved kind is applied.
+	// is the single place the resolved kind is applied. Workers bounds
+	// both the search fan-out (via p) and the scoring batch passes.
 	return registry.NewPipeline(search, scorer, registry.PipelineOptions{
 		Searchers:    o.searcherOptions(p),
 		Scorers:      o.scorerOptions(),
 		Agg:          agg,
 		MaxSubspaces: -1, // every registered searcher already applies TopK
 		Index:        kind,
+		Workers:      o.Workers,
 	})
 }
 
@@ -364,6 +381,15 @@ func toDataset(rows [][]float64) (*dataset.Dataset, error) {
 // HiCS contrast search by default) on row-major data and returns the
 // scored projections in descending quality order.
 func SearchSubspaces(rows [][]float64, opts Options) ([]Subspace, error) {
+	return SearchSubspacesContext(context.Background(), rows, opts)
+}
+
+// SearchSubspacesContext is SearchSubspaces with cooperative
+// cancellation: the search observes ctx throughout its candidate loops
+// and returns ctx.Err() promptly once it fires. An uncancelled search is
+// bit-for-bit identical to SearchSubspaces — the cancellation checks
+// never consume randomness.
+func SearchSubspacesContext(ctx context.Context, rows [][]float64, opts Options) ([]Subspace, error) {
 	ds, err := toDataset(rows)
 	if err != nil {
 		return nil, err
@@ -380,7 +406,7 @@ func SearchSubspaces(rows [][]float64, opts Options) ([]Subspace, error) {
 	if err != nil {
 		return nil, err
 	}
-	subs, err := s.Search(ds)
+	subs, err := s.Search(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +434,15 @@ func Contrast(rows [][]float64, dims []int, opts Options) (float64, error) {
 // Rank runs the complete two-step HiCS pipeline: subspace search followed
 // by density-based outlier scoring in the selected projections.
 func Rank(rows [][]float64, opts Options) (*Result, error) {
+	return RankContext(context.Background(), rows, opts)
+}
+
+// RankContext is Rank with cooperative cancellation: the Monte Carlo
+// subspace search checks ctx between iterations and the scoring step
+// checks it between subspaces, so a cancelled or deadlined context makes
+// the call return ctx.Err() promptly without leaking goroutines. An
+// uncancelled run is bit-for-bit identical to Rank.
+func RankContext(ctx context.Context, rows [][]float64, opts Options) (*Result, error) {
 	ds, err := toDataset(rows)
 	if err != nil {
 		return nil, err
@@ -416,7 +451,7 @@ func Rank(rows [][]float64, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := pipe.Rank(ds)
+	res, err := pipe.RankContext(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -454,4 +489,4 @@ func ScorerNames() []string { return registry.ScorerNames() }
 func FitScorerNames() []string { return registry.FitScorerNames() }
 
 // Version identifies the library release.
-const Version = "1.2.0"
+const Version = "1.3.0"

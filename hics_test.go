@@ -191,6 +191,7 @@ func TestOptionRangeValidation(t *testing.T) {
 		{"Alpha NaN", Options{Alpha: math.NaN()}, "Alpha"},
 		{"negative MinPts", Options{MinPts: -3}, "MinPts"},
 		{"TopK below -1", Options{TopK: -2}, "TopK"},
+		{"negative Workers", Options{Workers: -1}, "Workers"},
 		{"unknown searcher", Options{Search: "bogus"}, "searcher"},
 		{"unknown scorer", Options{Scorer: "bogus"}, "scorer"},
 		{"scorer conflicts with UseKNNScore", Options{Scorer: "lof", UseKNNScore: true}, "UseKNNScore"},

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -190,9 +191,18 @@ func (e *Evaluator) NewScratch() *Scratch {
 // least two dimensions; one-dimensional input yields zero (no notion of
 // correlation, Sec. IV-B).
 func (e *Evaluator) Contrast(s subspace.Subspace, r *rng.RNG, sc *Scratch) float64 {
+	v, _ := e.ContrastContext(context.Background(), s, r, sc)
+	return v
+}
+
+// ContrastContext is Contrast with cooperative cancellation: the Monte
+// Carlo loop checks ctx between iterations and returns ctx.Err() when it
+// fires. The check never touches the random stream, so an uncancelled
+// call is bit-for-bit identical to Contrast.
+func (e *Evaluator) ContrastContext(ctx context.Context, s subspace.Subspace, r *rng.RNG, sc *Scratch) (float64, error) {
 	d := s.Dim()
 	if d < 2 {
-		return 0
+		return 0, ctx.Err()
 	}
 	n := e.ds.N()
 	p := e.params
@@ -217,6 +227,9 @@ func (e *Evaluator) Contrast(s subspace.Subspace, r *rng.RNG, sc *Scratch) float
 
 	sum := 0.0
 	for iter := 0; iter < p.M; iter++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		sc.iter++
 		if sc.iter < 0 {
 			// The int32 stamp wrapped around. Old stamp values would
@@ -264,7 +277,7 @@ func (e *Evaluator) Contrast(s subspace.Subspace, r *rng.RNG, sc *Scratch) float
 
 		sum += e.deviation(lastAttr, cond)
 	}
-	return sum / float64(p.M)
+	return sum / float64(p.M), nil
 }
 
 // deviation compares the conditional sample of attribute attr to its

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -189,7 +190,7 @@ func TestContrastOfValidation(t *testing.T) {
 func TestSearcherAdapter(t *testing.T) {
 	ds := correlatedPair(12, 200, 4)
 	s := &Searcher{Params: Params{M: 10, Seed: 1}}
-	list, err := s.Search(ds)
+	list, err := s.Search(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"hics/internal/dataset"
+	"hics/internal/parallel"
 	"hics/internal/rng"
 	"hics/internal/subspace"
 )
@@ -36,6 +36,16 @@ type SearchResult struct {
 // are nevertheless deterministic because every subspace draws from a
 // stream keyed by (Seed, subspace).
 func Search(ds *dataset.Dataset, p Params) (*SearchResult, error) {
+	return SearchContext(context.Background(), ds, p)
+}
+
+// SearchContext is Search with cooperative cancellation: the Monte Carlo
+// workers check ctx between iterations and the level loop checks it
+// between Apriori levels, so a cancelled context surfaces ctx.Err()
+// within one Monte Carlo chunk of work per worker. Cancellation checks
+// never touch the per-subspace random streams, so an uncancelled run is
+// bit-for-bit identical to Search.
+func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*SearchResult, error) {
 	p = p.withDefaults()
 	if ds.D() < 2 {
 		return nil, fmt.Errorf("core: search needs at least 2 attributes, have %d", ds.D())
@@ -44,17 +54,15 @@ func Search(ds *dataset.Dataset, p Params) (*SearchResult, error) {
 	eval := NewEvaluator(ds, p)
 	base := rng.New(p.Seed)
 
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	result := &SearchResult{}
 	var pool []subspace.Scored
 
 	candidates := subspace.AllPairs(ds.D())
 	for len(candidates) > 0 {
-		scored := scoreAll(eval, base, candidates, workers)
+		scored, err := scoreAll(ctx, eval, base, candidates, p.Workers)
+		if err != nil {
+			return nil, err
+		}
 		result.Evaluated += len(scored)
 
 		retained := subspace.TopK(scored, p.Cutoff)
@@ -79,39 +87,33 @@ func Search(ds *dataset.Dataset, p Params) (*SearchResult, error) {
 	return result, nil
 }
 
-// scoreAll evaluates the contrast of every candidate, fanning the work out
-// over the given number of goroutines.
-func scoreAll(eval *Evaluator, base *rng.RNG, candidates []subspace.Subspace, workers int) []subspace.Scored {
+// scoreAll evaluates the contrast of every candidate on the shared
+// parallel fan-out, one candidate per work item (contrast costs vary
+// widely with subspace dimensionality, so fine-grained claiming keeps the
+// workers balanced). Each worker lazily allocates one Scratch and reuses
+// it across its candidates.
+func scoreAll(ctx context.Context, eval *Evaluator, base *rng.RNG, candidates []subspace.Subspace, workers int) ([]subspace.Scored, error) {
 	scored := make([]subspace.Scored, len(candidates))
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
-	if workers <= 1 {
-		sc := eval.NewScratch()
-		for i, s := range candidates {
-			scored[i] = subspace.Scored{S: s, Score: eval.Contrast(s, base.Derive(hashSubspace(s)), sc)}
+	workers = parallel.WorkerCount(workers, len(candidates))
+	scratches := make([]*Scratch, workers)
+	err := parallel.ForEach(ctx, len(candidates), workers, 1, func(w, i int) error {
+		sc := scratches[w]
+		if sc == nil {
+			sc = eval.NewScratch()
+			scratches[w] = sc
 		}
-		return scored
+		s := candidates[i]
+		c, err := eval.ContrastContext(ctx, s, base.Derive(hashSubspace(s)), sc)
+		if err != nil {
+			return err
+		}
+		scored[i] = subspace.Scored{S: s, Score: c}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := eval.NewScratch()
-			for i := range next {
-				s := candidates[i]
-				scored[i] = subspace.Scored{S: s, Score: eval.Contrast(s, base.Derive(hashSubspace(s)), sc)}
-			}
-		}()
-	}
-	for i := range candidates {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return scored
+	return scored, nil
 }
 
 // Searcher adapts Search to the ranking pipeline's SubspaceSearcher
@@ -122,8 +124,8 @@ type Searcher struct {
 }
 
 // Search implements the two-step pipeline's subspace search step.
-func (h *Searcher) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
-	res, err := Search(ds, h.Params)
+func (h *Searcher) Search(ctx context.Context, ds *dataset.Dataset) ([]subspace.Scored, error) {
+	res, err := SearchContext(ctx, ds, h.Params)
 	if err != nil {
 		return nil, err
 	}

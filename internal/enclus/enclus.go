@@ -18,6 +18,7 @@
 package enclus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -124,6 +125,13 @@ type Result struct {
 // the pair candidates — this reproduces the "large number of
 // configurations" tuning the paper describes without per-dataset knobs.
 func Search(ds *dataset.Dataset, p Params) (*Result, error) {
+	return SearchContext(context.Background(), ds, p)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between entropy evaluations, so a cancelled context surfaces ctx.Err()
+// within one candidate's worth of work.
+func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if ds.D() < 2 {
 		return nil, fmt.Errorf("enclus: need at least 2 attributes, have %d", ds.D())
@@ -137,6 +145,9 @@ func Search(ds *dataset.Dataset, p Params) (*Result, error) {
 	level := make([]entScored, 0, len(pairs))
 	entropies := make([]float64, 0, len(pairs))
 	for _, s := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		h := Entropy(ds, s, p.Xi)
 		res.Evaluated++
 		level = append(level, entScored{s, h})
@@ -151,6 +162,9 @@ func Search(ds *dataset.Dataset, p Params) (*Result, error) {
 		// Keep candidates passing the entropy threshold; rank by interest.
 		var kept []entScored
 		for _, c := range level {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if c.h <= omega {
 				kept = append(kept, c)
 				pool = append(pool, subspace.Scored{S: c.s, Score: Interest(ds, c.s, p.Xi)})
@@ -171,6 +185,9 @@ func Search(ds *dataset.Dataset, p Params) (*Result, error) {
 		next := subspace.GenerateCandidates(parents)
 		level = level[:0]
 		for _, s := range next {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			h := Entropy(ds, s, p.Xi)
 			res.Evaluated++
 			// Downward closure: a superspace can only raise entropy, so
@@ -225,8 +242,8 @@ type Searcher struct {
 }
 
 // Search implements the two-step pipeline's subspace search step.
-func (e *Searcher) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
-	res, err := Search(ds, e.Params)
+func (e *Searcher) Search(ctx context.Context, ds *dataset.Dataset) ([]subspace.Scored, error) {
+	res, err := SearchContext(ctx, ds, e.Params)
 	if err != nil {
 		return nil, err
 	}

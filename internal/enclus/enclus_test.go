@@ -1,6 +1,7 @@
 package enclus
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -160,7 +161,7 @@ func TestSearchErrors(t *testing.T) {
 func TestSearcherAdapter(t *testing.T) {
 	ds := clusteredPair(9, 300, 4)
 	s := &Searcher{}
-	list, err := s.Search(ds)
+	list, err := s.Search(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

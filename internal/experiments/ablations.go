@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,7 +12,7 @@ import (
 
 // AblationWTvsKS compares the two statistical instantiations of the
 // contrast measure (DESIGN.md ablation 1) at paper-default parameters.
-func AblationWTvsKS(w io.Writer, cfg Config) error {
+func AblationWTvsKS(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -28,7 +29,7 @@ func AblationWTvsKS(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			p := hicsParams(cfg.Seed)
 			p.Test = tt
-			auc, elapsed, err := rankAUC(cfg.hicsVariant(p), l)
+			auc, elapsed, err := rankAUC(ctx, cfg.hicsVariant(p), l)
 			if err != nil {
 				return err
 			}
@@ -45,7 +46,7 @@ func AblationWTvsKS(w io.Writer, cfg Config) error {
 // AblationAggregation compares average vs max aggregation of per-subspace
 // scores (Sec. IV-C; DESIGN.md ablation 2). The paper argues max is
 // sensitive to fluctuations when many subspaces are ranked.
-func AblationAggregation(w io.Writer, cfg Config) error {
+func AblationAggregation(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -58,7 +59,7 @@ func AblationAggregation(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			pipe := cfg.pipeline("hics", "lof", cfg.Seed)
 			pipe.Agg = agg
-			auc, _, err := rankAUC(pipe, l)
+			auc, _, err := rankAUC(ctx, pipe, l)
 			if err != nil {
 				return err
 			}
@@ -72,7 +73,7 @@ func AblationAggregation(w io.Writer, cfg Config) error {
 
 // AblationPruning compares the full framework against one with redundancy
 // pruning disabled (Sec. IV-B; DESIGN.md ablation 4).
-func AblationPruning(w io.Writer, cfg Config) error {
+func AblationPruning(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -85,7 +86,7 @@ func AblationPruning(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			p := hicsParams(cfg.Seed)
 			p.DisablePruning = disable
-			auc, _, err := rankAUC(cfg.hicsVariant(p), l)
+			auc, _, err := rankAUC(ctx, cfg.hicsVariant(p), l)
 			if err != nil {
 				return err
 			}
@@ -103,7 +104,7 @@ func AblationPruning(w io.Writer, cfg Config) error {
 
 // AblationScorer compares the LOF instantiation with the kNN-distance
 // score the paper names as a future-work alternative (ORCA-style).
-func AblationScorer(w io.Writer, cfg Config) error {
+func AblationScorer(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -115,7 +116,7 @@ func AblationScorer(w io.Writer, cfg Config) error {
 		var aucs, secs []float64
 		pipe := cfg.pipeline("hics", scorer, cfg.Seed)
 		for _, l := range data {
-			auc, elapsed, err := rankAUC(pipe, l)
+			auc, elapsed, err := rankAUC(ctx, pipe, l)
 			if err != nil {
 				return err
 			}
@@ -134,7 +135,7 @@ func AblationScorer(w io.Writer, cfg Config) error {
 var Registry = []struct {
 	Name string
 	Desc string
-	Run  func(io.Writer, Config) error
+	Run  Func
 }{
 	{"fig4", "AUC vs dimensionality (synthetic)", Fig4},
 	{"fig5", "runtime vs dimensionality (synthetic)", Fig5},
@@ -154,8 +155,13 @@ var Registry = []struct {
 	{"ext-prec", "extension: precision metrics (AP, P@n)", ExtPrecision},
 }
 
+// Func is one experiment regeneration: it writes the artifact's table to
+// w, observing ctx cooperatively — a cancelled context aborts the run
+// mid-sweep with ctx.Err().
+type Func func(ctx context.Context, w io.Writer, cfg Config) error
+
 // Lookup finds a registered experiment by name.
-func Lookup(name string) (func(io.Writer, Config) error, bool) {
+func Lookup(name string) (Func, bool) {
 	for _, e := range Registry {
 		if e.Name == name {
 			return e.Run, true

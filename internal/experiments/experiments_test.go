@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -71,11 +72,11 @@ func TestFig4And5ShareSweep(t *testing.T) {
 	skipInShort(t)
 	var buf4, buf5 bytes.Buffer
 	cfg := quickCfg()
-	if err := Fig4(&buf4, cfg); err != nil {
+	if err := Fig4(context.Background(), &buf4, cfg); err != nil {
 		t.Fatal(err)
 	}
 	evaluatedOnce := len(dimsSweepCache)
-	if err := Fig5(&buf5, cfg); err != nil {
+	if err := Fig5(context.Background(), &buf5, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if len(dimsSweepCache) != evaluatedOnce {
@@ -101,7 +102,7 @@ func TestFig4And5ShareSweep(t *testing.T) {
 func TestFig4HiCSBeatsLOFInQuickSweep(t *testing.T) {
 	skipInShort(t)
 	cfg := quickCfg()
-	res, err := runDimsSweep(cfg)
+	res, err := runDimsSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig4HiCSBeatsLOFInQuickSweep(t *testing.T) {
 func TestFig6Runs(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := Fig6(&buf, quickCfg()); err != nil {
+	if err := Fig6(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "N=300") {
@@ -129,14 +130,14 @@ func TestFig6Runs(t *testing.T) {
 func TestFig7Fig8Run(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := Fig7(&buf, quickCfg()); err != nil {
+	if err := Fig7(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "HiCS_WT") || !strings.Contains(buf.String(), "HiCS_KS") {
 		t.Error("Fig7 must report both statistical variants")
 	}
 	buf.Reset()
-	if err := Fig8(&buf, quickCfg()); err != nil {
+	if err := Fig8(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "a=0.10") {
@@ -147,7 +148,7 @@ func TestFig7Fig8Run(t *testing.T) {
 func TestFig9Runs(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := Fig9(&buf, quickCfg()); err != nil {
+	if err := Fig9(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -159,7 +160,7 @@ func TestFig9Runs(t *testing.T) {
 func TestFig10Runs(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := Fig10(&buf, quickCfg()); err != nil {
+	if err := Fig10(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -171,7 +172,7 @@ func TestFig10Runs(t *testing.T) {
 func TestFig11Runs(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := Fig11(&buf, quickCfg()); err != nil {
+	if err := Fig11(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -185,16 +186,16 @@ func TestFig11Runs(t *testing.T) {
 func TestAblationsRun(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := AblationWTvsKS(&buf, quickCfg()); err != nil {
+	if err := AblationWTvsKS(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
-	if err := AblationAggregation(&buf, quickCfg()); err != nil {
+	if err := AblationAggregation(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
-	if err := AblationPruning(&buf, quickCfg()); err != nil {
+	if err := AblationPruning(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
-	if err := AblationScorer(&buf, quickCfg()); err != nil {
+	if err := AblationScorer(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -235,7 +236,7 @@ func TestTprAt(t *testing.T) {
 func TestExtensionsRun(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	if err := ExtTests(&buf, quickCfg()); err != nil {
+	if err := ExtTests(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -245,7 +246,7 @@ func TestExtensionsRun(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	if err := ExtScorers(&buf, quickCfg()); err != nil {
+	if err := ExtScorers(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out = buf.String()
@@ -255,7 +256,7 @@ func TestExtensionsRun(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	if err := ExtSearchers(&buf, quickCfg()); err != nil {
+	if err := ExtSearchers(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	out = buf.String()
@@ -265,7 +266,7 @@ func TestExtensionsRun(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	if err := ExtPrecision(&buf, quickCfg()); err != nil {
+	if err := ExtPrecision(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "AP") {

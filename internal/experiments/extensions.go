@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -12,7 +13,7 @@ import (
 // ExtTests evaluates all four statistical instantiations of the contrast
 // measure: the paper's HiCS_WT and HiCS_KS plus the Mann–Whitney and
 // Cramér–von Mises extensions this library adds.
-func ExtTests(w io.Writer, cfg Config) error {
+func ExtTests(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -26,7 +27,7 @@ func ExtTests(w io.Writer, cfg Config) error {
 		pipe := cfg.hicsVariant(p)
 		var aucs, secs []float64
 		for _, l := range data {
-			auc, elapsed, err := rankAUC(pipe, l)
+			auc, elapsed, err := rankAUC(ctx, pipe, l)
 			if err != nil {
 				return err
 			}
@@ -44,7 +45,7 @@ func ExtTests(w io.Writer, cfg Config) error {
 // subspace search: LOF (the paper's choice), the kNN-distance score, and
 // the two future-work scorers ORCA and OUTRES. OUTRES additionally runs
 // with its native product aggregation.
-func ExtScorers(w io.Writer, cfg Config) error {
+func ExtScorers(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -69,7 +70,7 @@ func ExtScorers(w io.Writer, cfg Config) error {
 		pipe.Agg = e.agg
 		var aucs, secs []float64
 		for _, l := range data {
-			auc, elapsed, err := rankAUC(pipe, l)
+			auc, elapsed, err := rankAUC(ctx, pipe, l)
 			if err != nil {
 				return err
 			}
@@ -86,7 +87,7 @@ func ExtScorers(w io.Writer, cfg Config) error {
 // ExtSearchers compares HiCS against the full set of subspace search
 // techniques surveyed in the paper's related work, including SURFING,
 // which the paper cites but does not evaluate.
-func ExtSearchers(w io.Writer, cfg Config) error {
+func ExtSearchers(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -98,7 +99,7 @@ func ExtSearchers(w io.Writer, cfg Config) error {
 		pipe := cfg.pipeline(name, "lof", cfg.Seed)
 		var aucs, secs []float64
 		for _, l := range data {
-			auc, elapsed, err := rankAUC(pipe, l)
+			auc, elapsed, err := rankAUC(ctx, pipe, l)
 			if err != nil {
 				return err
 			}
@@ -115,7 +116,7 @@ func ExtSearchers(w io.Writer, cfg Config) error {
 // ExtPrecision reports precision-oriented metrics (average precision and
 // precision@|outliers|) alongside AUC for the main competitors — the view
 // Fig. 10's "high recall with best precision" discussion calls for.
-func ExtPrecision(w io.Writer, cfg Config) error {
+func ExtPrecision(ctx context.Context, w io.Writer, cfg Config) error {
 	reps := cfg.sizing().paramReps
 	data, err := paramSweepData(cfg, reps)
 	if err != nil {
@@ -126,7 +127,7 @@ func ExtPrecision(w io.Writer, cfg Config) error {
 	for _, r := range []ranking.Ranker{newLOF(cfg), cfg.pipeline("hics", "lof", cfg.Seed), cfg.pipeline("enclus", "lof", cfg.Seed), cfg.pipeline("randsub", "lof", cfg.Seed)} {
 		var aucs, aps, patns []float64
 		for _, l := range data {
-			res, err := r.Rank(l.Data)
+			res, err := r.RankContext(ctx, l.Data)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,7 +24,7 @@ func realScale(cfg Config, specN int) float64 {
 // Fig10 reproduces the ROC plots of the Ionosphere and Pendigits
 // experiments: one (FPR, TPR) series per competitor, printed at a fixed
 // grid of false-positive rates so the curves can be compared and plotted.
-func Fig10(w io.Writer, cfg Config) error {
+func Fig10(ctx context.Context, w io.Writer, cfg Config) error {
 	for _, name := range []string{"Ionosphere", "Pendigits"} {
 		spec, err := uci.Lookup(name)
 		if err != nil {
@@ -42,7 +43,7 @@ func Fig10(w io.Writer, cfg Config) error {
 		}
 		fmt.Fprintln(w, "      AUC")
 		for _, r := range append([]ranking.Ranker{newLOF(cfg)}, subspaceCompetitors(cfg, cfg.Seed)...) {
-			res, err := r.Rank(l.Data)
+			res, err := r.RankContext(ctx, l.Data)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", r.Name(), name, err)
 			}
@@ -80,7 +81,7 @@ func tprAt(curve []eval.ROCPoint, fpr float64) float64 {
 
 // Fig11 reproduces the real-world results table: AUC and runtime of the
 // five competitors on all eight (simulated) UCI datasets.
-func Fig11(w io.Writer, cfg Config) error {
+func Fig11(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Fig 11 — results on (simulated) real-world datasets")
 	fmt.Fprintf(w, "%-12s %8s | %7s %7s %7s %7s %7s | %8s %8s %8s %8s %8s\n",
 		"dataset", "shape",
@@ -95,7 +96,7 @@ func Fig11(w io.Writer, cfg Config) error {
 		aucs := make([]float64, 0, 5)
 		secs := make([]float64, 0, 5)
 		for _, r := range append([]ranking.Ranker{newLOF(cfg)}, subspaceCompetitors(cfg, cfg.Seed)...) {
-			auc, elapsed, err := rankAUC(r, l)
+			auc, elapsed, err := rankAUC(ctx, r, l)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", r.Name(), spec.Name, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -30,9 +31,10 @@ func synthBench(n, d int, seed uint64) (*dataset.Labeled, error) {
 
 // rankAUC runs a ranker and returns its AUC and wall-clock runtime
 // (subspace search plus outlier ranking, as in the paper's runtime plots).
-func rankAUC(r ranking.Ranker, l *dataset.Labeled) (auc float64, elapsed time.Duration, err error) {
+// A cancelled ctx aborts the run mid-ranking with ctx.Err().
+func rankAUC(ctx context.Context, r ranking.Ranker, l *dataset.Labeled) (auc float64, elapsed time.Duration, err error) {
 	start := time.Now()
-	res, err := r.Rank(l.Data)
+	res, err := r.RankContext(ctx, l.Data)
 	elapsed = time.Since(start)
 	if err != nil {
 		return 0, elapsed, err
@@ -45,8 +47,8 @@ func rankAUC(r ranking.Ranker, l *dataset.Labeled) (auc float64, elapsed time.Du
 // dimensionality": mean AUC ± stddev over several random datasets per
 // dimensionality, for all seven competitors. It also records runtimes,
 // which Fig5 prints — the paper runs both figures off the same sweep.
-func Fig4(w io.Writer, cfg Config) error {
-	res, err := runDimsSweep(cfg)
+func Fig4(ctx context.Context, w io.Writer, cfg Config) error {
+	res, err := runDimsSweep(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -70,8 +72,8 @@ func Fig4(w io.Writer, cfg Config) error {
 // Fig5 reproduces "Runtime w.r.t. dimensionality D, with fixed DB-size":
 // total processing time (subspace search + outlier ranking) of the
 // subspace-ranking competitors over the same sweep as Fig4.
-func Fig5(w io.Writer, cfg Config) error {
-	res, err := runDimsSweep(cfg)
+func Fig5(ctx context.Context, w io.Writer, cfg Config) error {
+	res, err := runDimsSweep(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -107,7 +109,7 @@ type dimsSweepResult struct {
 // both subcommands in one process does not double the work.
 var dimsSweepCache = map[cacheKey]*dimsSweepResult{}
 
-func runDimsSweep(cfg Config) (*dimsSweepResult, error) {
+func runDimsSweep(ctx context.Context, cfg Config) (*dimsSweepResult, error) {
 	if r, ok := dimsSweepCache[cfg.key()]; ok {
 		return r, nil
 	}
@@ -135,7 +137,7 @@ func runDimsSweep(cfg Config) (*dimsSweepResult, error) {
 					res.auc[name] = make([][]float64, len(dims))
 					res.seconds[name] = make([][]float64, len(dims))
 				}
-				auc, elapsed, err := rankAUC(r, l)
+				auc, elapsed, err := rankAUC(ctx, r, l)
 				if err != nil {
 					return nil, fmt.Errorf("%s at D=%d: %w", name, d, err)
 				}
@@ -150,7 +152,7 @@ func runDimsSweep(cfg Config) (*dimsSweepResult, error) {
 
 // Fig6 reproduces "Runtime w.r.t. the DB-size, with fixed dimensionality
 // 25" for the subspace-ranking competitors.
-func Fig6(w io.Writer, cfg Config) error {
+func Fig6(ctx context.Context, w io.Writer, cfg Config) error {
 	d := 25
 	sizes := cfg.sizing().fig6Sizes
 	fmt.Fprintf(w, "# Fig 6 — total runtime [s] vs DB size N (D=%d)\n", d)
@@ -172,7 +174,7 @@ func Fig6(w io.Writer, cfg Config) error {
 	for _, r := range subspaceCompetitors(cfg, cfg.Seed) {
 		fmt.Fprintf(w, "%-10s", displayName(r))
 		for i := range sizes {
-			_, elapsed, err := rankAUC(r, data[i])
+			_, elapsed, err := rankAUC(ctx, r, data[i])
 			if err != nil {
 				return fmt.Errorf("%s at N=%d: %w", r.Name(), sizes[i], err)
 			}
@@ -202,7 +204,7 @@ func paramSweepData(cfg Config, reps int) ([]*dataset.Labeled, error) {
 
 // Fig7 reproduces "Dependence on the number of statistical tests (M)" for
 // both statistical instantiations HiCS_WT and HiCS_KS.
-func Fig7(w io.Writer, cfg Config) error {
+func Fig7(ctx context.Context, w io.Writer, cfg Config) error {
 	sz := cfg.sizing()
 	ms, reps := sz.fig7Ms, sz.paramReps
 	data, err := paramSweepData(cfg, reps)
@@ -227,7 +229,7 @@ func Fig7(w io.Writer, cfg Config) error {
 				p := hicsParams(cfg.Seed)
 				p.M = m
 				p.Test = tt
-				auc, _, err := rankAUC(cfg.hicsVariant(p), l)
+				auc, _, err := rankAUC(ctx, cfg.hicsVariant(p), l)
 				if err != nil {
 					return err
 				}
@@ -242,7 +244,7 @@ func Fig7(w io.Writer, cfg Config) error {
 }
 
 // Fig8 reproduces "Dependence on the size of the test statistic (α)".
-func Fig8(w io.Writer, cfg Config) error {
+func Fig8(ctx context.Context, w io.Writer, cfg Config) error {
 	sz := cfg.sizing()
 	alphas, reps := sz.fig8Alphas, sz.paramReps
 	data, err := paramSweepData(cfg, reps)
@@ -267,7 +269,7 @@ func Fig8(w io.Writer, cfg Config) error {
 				p := hicsParams(cfg.Seed)
 				p.Alpha = a
 				p.Test = tt
-				auc, _, err := rankAUC(cfg.hicsVariant(p), l)
+				auc, _, err := rankAUC(ctx, cfg.hicsVariant(p), l)
 				if err != nil {
 					return err
 				}
@@ -284,7 +286,7 @@ func Fig8(w io.Writer, cfg Config) error {
 // Fig9 reproduces "Quality and Runtime w.r.t. candidate cutoff parameter":
 // mean AUC and mean runtime over several synthetic datasets for a sweep of
 // the cutoff.
-func Fig9(w io.Writer, cfg Config) error {
+func Fig9(ctx context.Context, w io.Writer, cfg Config) error {
 	sz := cfg.sizing()
 	cutoffs, reps := sz.fig9Cutoffs, sz.paramReps
 	data, err := paramSweepData(cfg, reps)
@@ -298,7 +300,7 @@ func Fig9(w io.Writer, cfg Config) error {
 		for _, l := range data {
 			p := hicsParams(cfg.Seed)
 			p.Cutoff = cut
-			auc, elapsed, err := rankAUC(cfg.hicsVariant(p), l)
+			auc, elapsed, err := rankAUC(ctx, cfg.hicsVariant(p), l)
 			if err != nil {
 				return err
 			}

@@ -21,6 +21,7 @@
 package lof
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -52,6 +53,15 @@ func ScoresWith(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind
 	return scores, err
 }
 
+// ScoresContext is ScoresWith with cooperative cancellation and a bound
+// on the batch-pass parallelism (workers <= 0 means one per CPU): a
+// cancelled ctx stops the neighborhood pass within one chunk of queries
+// per worker. Results are bit-for-bit independent of both.
+func ScoresContext(ctx context.Context, ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind, workers int) ([]float64, error) {
+	_, scores, err := FitContext(ctx, ds, dims, minPts, kind, workers)
+	return scores, err
+}
+
 // Fitted is the frozen state of a LOF fit on one subspace: the neighbor
 // index over the training objects plus their k-distances and local
 // reachability densities. It scores out-of-sample points via ScoreQuery
@@ -77,6 +87,14 @@ type queryScratch struct {
 // training LOF scores — bit-for-bit the ScoresWith result (ScoresWith is
 // implemented on top of Fit).
 func Fit(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind) (*Fitted, []float64, error) {
+	return FitContext(context.Background(), ds, dims, minPts, kind, 0)
+}
+
+// FitContext is Fit with cooperative cancellation and a bound on the
+// batch-pass parallelism (workers <= 0 means one per CPU). The dominant
+// neighborhood pass observes ctx between query chunks; the linear
+// follow-up passes run to completion.
+func FitContext(ctx context.Context, ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind, workers int) (*Fitted, []float64, error) {
 	if minPts < 1 {
 		minPts = DefaultMinPts
 	}
@@ -90,7 +108,10 @@ func Fit(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind) (*Fit
 	}
 
 	// Pass 1: materialize neighborhoods and k-distances (batched, parallel).
-	neighborhoods, kdist := idx.KNNAll(minPts)
+	neighborhoods, kdist, err := idx.KNNAllContext(ctx, minPts, workers)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Pass 2: local reachability densities.
 	lrd := make([]float64, n)
@@ -236,6 +257,13 @@ func KNNScoresWith(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) 
 	return scores, err
 }
 
+// KNNScoresContext is KNNScoresWith with cooperative cancellation and a
+// bound on the batch-pass parallelism, mirroring ScoresContext.
+func KNNScoresContext(ctx context.Context, ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind, workers int) ([]float64, error) {
+	_, scores, err := FitKNNContext(ctx, ds, dims, k, kind, workers)
+	return scores, err
+}
+
 // FittedKNN is the frozen state of an average-kNN-distance fit on one
 // subspace. Unlike LOF the score needs no per-object training statistics —
 // the neighbor index alone answers queries. Safe for concurrent queries.
@@ -250,6 +278,12 @@ type FittedKNN struct {
 // it together with the batch average-kNN-distance training scores —
 // bit-for-bit the KNNScoresWith result.
 func FitKNN(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) (*FittedKNN, []float64, error) {
+	return FitKNNContext(context.Background(), ds, dims, k, kind, 0)
+}
+
+// FitKNNContext is FitKNN with cooperative cancellation and a bound on
+// the batch-pass parallelism, mirroring FitContext.
+func FitKNNContext(ctx context.Context, ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind, workers int) (*FittedKNN, []float64, error) {
 	if k < 1 {
 		k = DefaultMinPts
 	}
@@ -261,7 +295,10 @@ func FitKNN(ds *dataset.Dataset, dims []int, k int, kind neighbors.Kind) (*Fitte
 	if n < 2 {
 		return nil, nil, fmt.Errorf("lof: need at least 2 objects, have %d", n)
 	}
-	neighborhoods, _ := idx.KNNAll(k)
+	neighborhoods, _, err := idx.KNNAllContext(ctx, k, workers)
+	if err != nil {
+		return nil, nil, err
+	}
 	scores := make([]float64, n)
 	for i, nb := range neighborhoods {
 		if len(nb) == 0 {

@@ -1,6 +1,7 @@
 package neighbors
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -95,7 +96,15 @@ func (b *Brute) scan(exclude, k int, sc *Scratch, out []Neighbor) ([]Neighbor, f
 }
 
 // KNNAll implements Index.
-func (b *Brute) KNNAll(k int) ([][]Neighbor, []float64) { return knnAll(b, k) }
+func (b *Brute) KNNAll(k int) ([][]Neighbor, []float64) {
+	nbs, kdists, _ := knnAll(context.Background(), b, k, 0)
+	return nbs, kdists
+}
+
+// KNNAllContext implements Index.
+func (b *Brute) KNNAllContext(ctx context.Context, k, workers int) ([][]Neighbor, []float64, error) {
+	return knnAll(ctx, b, k, workers)
+}
 
 // quickselect returns the k-th smallest element (0-based) of xs,
 // partially reordering xs in place. Median-of-three pivoting keeps the

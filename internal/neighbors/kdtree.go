@@ -1,6 +1,7 @@
 package neighbors
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -124,7 +125,15 @@ func (t *KDTree) knnQuery(exclude, k int, sc *Scratch, out []Neighbor) ([]Neighb
 }
 
 // KNNAll implements Index.
-func (t *KDTree) KNNAll(k int) ([][]Neighbor, []float64) { return knnAll(t, k) }
+func (t *KDTree) KNNAll(k int) ([][]Neighbor, []float64) {
+	nbs, kdists, _ := knnAll(context.Background(), t, k, 0)
+	return nbs, kdists
+}
+
+// KNNAllContext implements Index.
+func (t *KDTree) KNNAllContext(ctx context.Context, k, workers int) ([][]Neighbor, []float64, error) {
+	return knnAll(ctx, t, k, workers)
+}
 
 // searchBound fills sc.bound with the k smallest squared distances from
 // the query to objects other than exclude, visiting near subtrees first.

@@ -28,12 +28,12 @@
 package neighbors
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"hics/internal/dataset"
+	"hics/internal/parallel"
 )
 
 // Neighbor is one query result: an object id and its distance to the query.
@@ -119,6 +119,11 @@ type Index interface {
 	// KNNAll answers KNN for every object, parallelized over the CPUs.
 	// nbs[q] and kdists[q] are what KNN(q, k, ...) would return.
 	KNNAll(k int) (nbs [][]Neighbor, kdists []float64)
+	// KNNAllContext is KNNAll with cooperative cancellation and a bound
+	// on the fan-out (workers <= 0 means one per CPU): a cancelled ctx
+	// stops the batch within one chunk of queries per worker and returns
+	// ctx.Err(). Results are bit-for-bit independent of the worker count.
+	KNNAllContext(ctx context.Context, k, workers int) (nbs [][]Neighbor, kdists []float64, err error)
 }
 
 // Scratch holds per-goroutine query buffers, shared across backends so an
@@ -186,43 +191,39 @@ func dist(cols [][]float64, i, j int) float64 {
 	return math.Sqrt(sum)
 }
 
-// knnAll fans KNN queries for all objects out over the CPUs. Each worker
-// owns a scratch; results are written to disjoint slots, so no locking.
-func knnAll(ix Index, k int) ([][]Neighbor, []float64) {
+// knnAll fans KNN queries for all objects out over the shared parallel
+// primitive, bounded by the given worker count (<= 0 means one per CPU)
+// and observing ctx between chunks. Each worker owns a scratch and a
+// reusable neighbor buffer; results are written to disjoint slots, so no
+// locking. Results are bit-for-bit independent of the worker count.
+func knnAll(ctx context.Context, ix Index, k, workers int) ([][]Neighbor, []float64, error) {
 	n := ix.N()
 	nbs := make([][]Neighbor, n)
 	kdists := make([]float64, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	workers = parallel.WorkerCount(workers, n)
+	type state struct {
+		sc  *Scratch
+		buf []Neighbor
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	states := make([]*state, workers)
+	// A single KNN query is already O(N) on the brute backend, so claim
+	// work in small chunks: the atomic claim counter stays cold while a
+	// cancellation is observed within a few queries instead of n/4.
+	const chunk = 8
+	err := parallel.ForEach(ctx, n, workers, chunk, func(w, q int) error {
+		st := states[w]
+		if st == nil {
+			st = &state{sc: ix.NewScratch()}
+			states[w] = st
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			sc := ix.NewScratch()
-			var buf []Neighbor
-			for q := lo; q < hi; q++ {
-				nb, kd := ix.KNN(q, k, sc, buf)
-				nbs[q] = append([]Neighbor(nil), nb...)
-				kdists[q] = kd
-				buf = nb[:0]
-			}
-		}(lo, hi)
+		nb, kd := ix.KNN(q, k, st.sc, st.buf)
+		nbs[q] = append([]Neighbor(nil), nb...)
+		kdists[q] = kd
+		st.buf = nb[:0]
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	wg.Wait()
-	return nbs, kdists
+	return nbs, kdists, nil
 }

@@ -1,0 +1,181 @@
+// Package parallel provides the one goroutine fan-out primitive every
+// compute layer of this repository shares: a deterministic, chunked,
+// context-aware parallel for-loop with panic propagation. The subspace
+// search (internal/core), the batch KNN passes (internal/neighbors) and
+// model batch scoring (hics.Model.ScoreBatch) all run on ForEach — no
+// other package spawns worker goroutines.
+//
+// Determinism contract: fn's effect for index i must not depend on which
+// worker runs it — the worker id exists only so callers can reuse
+// per-worker scratch state. Under that contract the outcome of a ForEach
+// is bit-for-bit independent of scheduling, worker count and chunk size.
+//
+// Cancellation contract: workers observe ctx between chunks (and callers
+// typically re-check ctx inside fn's own inner loops), so a cancelled
+// context stops the fan-out within one chunk of work per worker, and
+// ForEach does not return until every worker goroutine has exited — no
+// goroutine outlives the call.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Panic wraps a panic value recovered on a worker goroutine. ForEach
+// re-raises it on the calling goroutine with the worker's stack attached,
+// so a crash inside fn fails the caller instead of the whole process
+// dying on an unrecovered goroutine.
+type Panic struct {
+	// Value is the worker's original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the time of the panic.
+	Stack []byte
+}
+
+// Error makes a recovered Panic inspectable as an error.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// WorkerCount resolves a requested worker count against a job of n items:
+// requested <= 0 means one worker per CPU, and a job never gets more
+// workers than items. The result is at least 1 for n > 0.
+func WorkerCount(requested, n int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > n {
+		requested = n
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// ForEach invokes fn(worker, i) for every index i in [0, n), fanned out
+// over WorkerCount(workers, n) goroutines. Indices are handed out in
+// contiguous chunks of the given size (chunk <= 0 selects a size aiming
+// for several chunks per worker); workers check ctx between chunks, so a
+// cancelled context is observed within one chunk of work.
+//
+// The first fn error cancels the remaining work and is returned; among
+// errors observed concurrently the one with the lowest index wins, so
+// the reported error is (close to) deterministic. An already-cancelled
+// context returns ctx.Err() before fn runs at all; a cancellation during
+// the run returns ctx.Err() unless an fn error arrived first. A panic in
+// fn is re-raised on the calling goroutine as a *Panic.
+func ForEach(ctx context.Context, n, workers, chunk int, fn func(worker, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	workers = WorkerCount(workers, n)
+	if chunk <= 0 {
+		// Several chunks per worker: balanced tails without giving up the
+		// between-chunk cancellation checks.
+		chunk = n / (4 * workers)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if workers == 1 {
+		// Run inline — same chunked cancellation checks and the same
+		// panic contract as the fanned-out path, no goroutine.
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := v.(*Panic); !ok {
+					v = &Panic{Value: v, Stack: debug.Stack()}
+				}
+				panic(v)
+			}
+		}()
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if err := fn(0, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// The derived context stops the other workers on the first error or
+	// panic without affecting the caller's ctx.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next unclaimed index
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		pan      *Panic
+	)
+	report := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					mu.Lock()
+					if pan == nil {
+						pan = &Panic{Value: v, Stack: debug.Stack()}
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(w, i); err != nil {
+						report(i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,242 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachVisitsEveryIndexOnce checks the basic contract across worker
+// and chunk configurations, including the inline single-worker path.
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers, chunk int }{
+		{0, 4, 0},
+		{1, 4, 0},
+		{7, 1, 0},
+		{7, 1, 3},
+		{100, 3, 1},
+		{100, 3, 7},
+		{100, 0, 0},
+		{5, 100, 0}, // more workers than items
+	} {
+		counts := make([]int32, tc.n)
+		err := ForEach(context.Background(), tc.n, tc.workers, tc.chunk, func(_, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d workers=%d chunk=%d: %v", tc.n, tc.workers, tc.chunk, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d chunk=%d: index %d visited %d times", tc.n, tc.workers, tc.chunk, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerIDs checks every worker id stays within the resolved
+// worker range, so per-worker scratch slices are safely indexable.
+func TestForEachWorkerIDs(t *testing.T) {
+	const n, workers = 1000, 4
+	var bad atomic.Int32
+	err := ForEach(context.Background(), n, workers, 1, func(w, _ int) error {
+		if w < 0 || w >= workers {
+			bad.Store(int32(w))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := bad.Load(); b != 0 {
+		t.Errorf("worker id %d out of range [0,%d)", b, workers)
+	}
+}
+
+// TestForEachPreCancelled checks an already-cancelled context never
+// starts work.
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	err := ForEach(ctx, 100, 4, 1, func(_, _ int) error {
+		calls.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c != 0 {
+		t.Errorf("fn ran %d times under a pre-cancelled context", c)
+	}
+}
+
+// TestForEachCancelMidRun checks cancellation stops the fan-out within a
+// bounded amount of work and surfaces ctx.Err().
+func TestForEachCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	err := ForEach(ctx, 1_000_000, 4, 1, func(_, i int) error {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// Workers stop within one chunk each; with chunk=1 the overshoot is a
+	// handful of in-flight calls, nowhere near the full million.
+	if c := calls.Load(); c > 1000 {
+		t.Errorf("fn ran %d times after cancellation, want a bounded overshoot", c)
+	}
+}
+
+// TestForEachFirstErrorWins checks an fn error cancels the rest and the
+// lowest-index error is reported.
+func TestForEachFirstErrorWins(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("boom at %d", i) }
+	var calls atomic.Int32
+	err := ForEach(context.Background(), 100_000, 4, 1, func(_, i int) error {
+		calls.Add(1)
+		if i == 3 || i == 77 {
+			return boom(i)
+		}
+		time.Sleep(time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	if got := err.Error(); got != "boom at 3" && got != "boom at 77" {
+		t.Fatalf("err = %q, want one of the injected errors", got)
+	}
+	if c := calls.Load(); c > 50_000 {
+		t.Errorf("fn ran %d times after the error, want early stop", c)
+	}
+
+	// Single-worker inline path: deterministic first error.
+	err = ForEach(context.Background(), 100, 1, 1, func(_, i int) error {
+		if i >= 3 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 3" {
+		t.Errorf("inline err = %v, want boom at 3", err)
+	}
+}
+
+// TestForEachPanicPropagates checks a worker panic is re-raised on the
+// caller as a *Panic carrying the original value, and that no worker
+// goroutine leaks past the re-raise.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: no panic propagated", workers)
+				}
+				p, ok := v.(*Panic)
+				if !ok {
+					// Both paths wrap: the doc promises *Panic whatever
+					// the worker count.
+					t.Fatalf("workers=%d: panic value is %T, want *Panic", workers, v)
+				}
+				if p.Value != "kaboom" {
+					t.Errorf("panic value = %v, want kaboom", p.Value)
+				}
+				if len(p.Stack) == 0 {
+					t.Error("panic carries no stack")
+				}
+				if p.Error() == "" {
+					t.Error("Panic.Error is empty")
+				}
+			}()
+			_ = ForEach(context.Background(), 100, workers, 1, func(_, i int) error {
+				if i == 13 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// TestForEachDeterministicResults checks the fan-out writes the same
+// results whatever the worker/chunk configuration — the determinism
+// contract the Monte Carlo search relies on.
+func TestForEachDeterministicResults(t *testing.T) {
+	const n = 513
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i) * 1.25
+	}
+	for _, workers := range []int{1, 2, 7} {
+		for _, chunk := range []int{1, 5, 64} {
+			got := make([]float64, n)
+			err := ForEach(context.Background(), n, workers, chunk, func(_, i int) error {
+				got[i] = float64(i) * 1.25
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d chunk=%d: index %d = %g, want %g", workers, chunk, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForEachNoGoroutineLeak checks every worker has exited by the time
+// ForEach returns, in success, error and cancellation cases.
+func TestForEachNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = ForEach(context.Background(), 10_000, 8, 1, func(_, _ int) error { return nil })
+	_ = ForEach(context.Background(), 10_000, 8, 1, func(_, i int) error {
+		if i > 100 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	cancel()
+	_ = ForEach(ctx, 10_000, 8, 1, func(_, _ int) error { return nil })
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerCount pins the resolution rules.
+func TestWorkerCount(t *testing.T) {
+	if got := WorkerCount(3, 100); got != 3 {
+		t.Errorf("WorkerCount(3,100) = %d", got)
+	}
+	if got := WorkerCount(8, 2); got != 2 {
+		t.Errorf("WorkerCount(8,2) = %d", got)
+	}
+	if got := WorkerCount(0, 100); got != runtime.GOMAXPROCS(0) && got != 100 {
+		t.Errorf("WorkerCount(0,100) = %d", got)
+	}
+	if got := WorkerCount(5, 0); got != 1 {
+		t.Errorf("WorkerCount(5,0) = %d, want 1", got)
+	}
+}

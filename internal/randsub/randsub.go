@@ -10,6 +10,7 @@
 package randsub
 
 import (
+	"context"
 	"fmt"
 
 	"hics/internal/dataset"
@@ -61,6 +62,13 @@ func (p Params) withDefaults(d int) Params {
 // are avoided up to the number of available distinct subspaces; all scores
 // are zero (the method expresses no preference).
 func Select(d int, p Params) ([]subspace.Scored, error) {
+	return SelectContext(context.Background(), d, p)
+}
+
+// SelectContext is Select with cooperative cancellation: ctx is checked
+// between draws. The checks never touch the random stream, so an
+// uncancelled selection is identical to Select.
+func SelectContext(ctx context.Context, d int, p Params) ([]subspace.Scored, error) {
 	if d < 2 {
 		return nil, fmt.Errorf("randsub: need at least 2 attributes, have %d", d)
 	}
@@ -72,6 +80,9 @@ func Select(d int, p Params) ([]subspace.Scored, error) {
 
 	const maxAttemptsPerPick = 64
 	for len(out) < p.Count {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		picked := false
 		for attempt := 0; attempt < maxAttemptsPerPick; attempt++ {
 			k := r.IntRange(p.MinDim, p.MaxDim)
@@ -99,8 +110,8 @@ type Searcher struct {
 
 // Search implements the two-step pipeline's subspace search step; the
 // dataset is consulted only for its dimensionality.
-func (s *Searcher) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
-	return Select(ds.D(), s.Params)
+func (s *Searcher) Search(ctx context.Context, ds *dataset.Dataset) ([]subspace.Scored, error) {
+	return SelectContext(ctx, ds.D(), s.Params)
 }
 
 // Name identifies the method in experiment reports.

@@ -1,6 +1,7 @@
 package randsub
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -92,7 +93,7 @@ func TestSelectSmallD(t *testing.T) {
 func TestSearcherAdapter(t *testing.T) {
 	ds := dataset.MustNew(nil, [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
 	s := &Searcher{Params: Params{Count: 5, Seed: 1}}
-	list, err := s.Search(ds)
+	list, err := s.Search(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package ranking
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,8 +28,11 @@ import (
 
 // SubspaceSearcher is step 1: select projections worth ranking in.
 type SubspaceSearcher interface {
-	// Search returns subspaces ordered by descending quality.
-	Search(ds *dataset.Dataset) ([]subspace.Scored, error)
+	// Search returns subspaces ordered by descending quality. The search
+	// observes ctx cooperatively: a cancelled context makes it return
+	// ctx.Err() promptly, and an uncancelled search is deterministic —
+	// the ctx checks never consume randomness.
+	Search(ctx context.Context, ds *dataset.Dataset) ([]subspace.Scored, error)
 	// Name identifies the method in reports.
 	Name() string
 }
@@ -49,6 +53,23 @@ type IndexableScorer interface {
 	WithIndex(kind neighbors.Kind) Scorer
 }
 
+// ContextScorer is implemented by scorers whose batch pass observes a
+// context and a worker bound (workers <= 0 means one per CPU);
+// Pipeline.RankContext prefers it over the plain Score when available.
+// Scores must be bit-for-bit identical to Score whatever the worker
+// count.
+type ContextScorer interface {
+	Scorer
+	ScoreContext(ctx context.Context, ds *dataset.Dataset, dims []int, workers int) ([]float64, error)
+}
+
+// ContextFitScorer is the fit/score-split counterpart of ContextScorer;
+// Pipeline.FitContext prefers it over the plain Fit when available.
+type ContextFitScorer interface {
+	FitScorer
+	FitContext(ctx context.Context, ds *dataset.Dataset, dims []int, workers int) (FittedScorer, []float64, error)
+}
+
 // LOFScorer scores with the Local Outlier Factor, the paper's reference
 // instantiation.
 type LOFScorer struct {
@@ -61,6 +82,11 @@ type LOFScorer struct {
 // Score implements Scorer.
 func (s LOFScorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
 	return lof.ScoresWith(ds, dims, s.MinPts, s.Index)
+}
+
+// ScoreContext implements ContextScorer.
+func (s LOFScorer) ScoreContext(ctx context.Context, ds *dataset.Dataset, dims []int, workers int) ([]float64, error) {
+	return lof.ScoresContext(ctx, ds, dims, s.MinPts, s.Index, workers)
 }
 
 // Name implements Scorer.
@@ -84,6 +110,11 @@ type KNNScorer struct {
 // Score implements Scorer.
 func (s KNNScorer) Score(ds *dataset.Dataset, dims []int) ([]float64, error) {
 	return lof.KNNScoresWith(ds, dims, s.K, s.Index)
+}
+
+// ScoreContext implements ContextScorer.
+func (s KNNScorer) ScoreContext(ctx context.Context, ds *dataset.Dataset, dims []int, workers int) ([]float64, error) {
+	return lof.KNNScoresContext(ctx, ds, dims, s.K, s.Index, workers)
 }
 
 // Name implements Scorer.
@@ -135,7 +166,12 @@ func (f *FittedLOFScorer) ScorePoint(full []float64) float64 {
 
 // Fit implements FitScorer.
 func (s LOFScorer) Fit(ds *dataset.Dataset, dims []int) (FittedScorer, []float64, error) {
-	st, scores, err := lof.Fit(ds, dims, s.MinPts, s.Index)
+	return s.FitContext(context.Background(), ds, dims, 0)
+}
+
+// FitContext implements ContextFitScorer.
+func (s LOFScorer) FitContext(ctx context.Context, ds *dataset.Dataset, dims []int, workers int) (FittedScorer, []float64, error) {
+	st, scores, err := lof.FitContext(ctx, ds, dims, s.MinPts, s.Index, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -160,7 +196,12 @@ func (f *FittedKNNScorer) ScorePoint(full []float64) float64 {
 
 // Fit implements FitScorer.
 func (s KNNScorer) Fit(ds *dataset.Dataset, dims []int) (FittedScorer, []float64, error) {
-	st, scores, err := lof.FitKNN(ds, dims, s.K, s.Index)
+	return s.FitContext(context.Background(), ds, dims, 0)
+}
+
+// FitContext implements ContextFitScorer.
+func (s KNNScorer) FitContext(ctx context.Context, ds *dataset.Dataset, dims []int, workers int) (FittedScorer, []float64, error) {
+	st, scores, err := lof.FitKNNContext(ctx, ds, dims, s.K, s.Index, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -168,8 +209,8 @@ func (s KNNScorer) Fit(ds *dataset.Dataset, dims []int) (FittedScorer, []float64
 }
 
 var (
-	_ FitScorer = LOFScorer{}
-	_ FitScorer = KNNScorer{}
+	_ ContextFitScorer = LOFScorer{}
+	_ ContextFitScorer = KNNScorer{}
 )
 
 // Aggregation selects how per-subspace scores combine (Sec. IV-C).
@@ -304,7 +345,7 @@ func aggregatePoint(a Aggregation, vals []float64) float64 {
 type FullSpace struct{}
 
 // Search implements SubspaceSearcher.
-func (FullSpace) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
+func (FullSpace) Search(_ context.Context, ds *dataset.Dataset) ([]subspace.Scored, error) {
 	return []subspace.Scored{{S: subspace.Full(ds.D())}}, nil
 }
 
@@ -323,6 +364,11 @@ type Pipeline struct {
 	// Index pins the neighbor-index backend of an IndexableScorer. KindAuto
 	// (the zero value) leaves the scorer's own configuration untouched.
 	Index neighbors.Kind
+	// Workers bounds the batch-pass parallelism of a ContextScorer
+	// (0 = one worker per CPU); the search step's own worker bound lives
+	// in the searcher's parameters. Scores are bit-for-bit independent of
+	// the setting.
+	Workers int
 }
 
 // DefaultMaxSubspaces is the paper's budget of ranked projections.
@@ -339,7 +385,7 @@ type Result struct {
 // resolve validates the pipeline wiring, applies the index pin and the
 // subspace budget, and runs the search step — the shared preamble of Rank
 // and Fit.
-func (p Pipeline) resolve(ds *dataset.Dataset) (Scorer, []subspace.Scored, error) {
+func (p Pipeline) resolve(ctx context.Context, ds *dataset.Dataset) (Scorer, []subspace.Scored, error) {
 	if p.Searcher == nil || p.Scorer == nil {
 		return nil, nil, errors.New("ranking: pipeline needs a Searcher and a Scorer")
 	}
@@ -349,8 +395,13 @@ func (p Pipeline) resolve(ds *dataset.Dataset) (Scorer, []subspace.Scored, error
 			scorer = ix.WithIndex(p.Index)
 		}
 	}
-	subspaces, err := p.Searcher.Search(ds)
+	subspaces, err := p.Searcher.Search(ctx, ds)
 	if err != nil {
+		// ctx.Err() passes through unwrapped so callers can match it with
+		// errors.Is across every layer.
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("ranking: subspace search (%s): %w", p.Searcher.Name(), err)
 	}
 	limit := p.MaxSubspaces
@@ -370,14 +421,34 @@ func (p Pipeline) resolve(ds *dataset.Dataset) (Scorer, []subspace.Scored, error
 // into the aggregate as they are produced, so only one score slice is
 // alive at a time.
 func (p Pipeline) Rank(ds *dataset.Dataset) (*Result, error) {
-	scorer, subspaces, err := p.resolve(ds)
+	return p.RankContext(context.Background(), ds)
+}
+
+// RankContext is Rank with cooperative cancellation: the subspace search
+// observes ctx throughout its Monte Carlo loops, and the scoring step
+// checks ctx between subspaces. An uncancelled run is bit-for-bit
+// identical to Rank.
+func (p Pipeline) RankContext(ctx context.Context, ds *dataset.Dataset) (*Result, error) {
+	scorer, subspaces, err := p.resolve(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
 	acc := newAccumulator(p.Agg, ds.N())
+	cs, cancellable := scorer.(ContextScorer)
 	for _, sc := range subspaces {
-		scores, err := scorer.Score(ds, sc.S)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var scores []float64
+		if cancellable {
+			scores, err = cs.ScoreContext(ctx, ds, sc.S, p.Workers)
+		} else {
+			scores, err = scorer.Score(ds, sc.S)
+		}
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("ranking: scoring %v with %s: %w", sc.S, scorer.Name(), err)
 		}
 		acc.fold(scores)
@@ -415,7 +486,14 @@ type FittedPipeline struct {
 // scores come from the same fitting passes and the aggregation applies the
 // identical operation sequence.
 func (p Pipeline) Fit(ds *dataset.Dataset) (*FittedPipeline, error) {
-	scorer, subspaces, err := p.resolve(ds)
+	return p.FitContext(context.Background(), ds)
+}
+
+// FitContext is Fit with cooperative cancellation, mirroring RankContext:
+// ctx is observed throughout the subspace search and between per-subspace
+// fitting passes. An uncancelled fit is bit-for-bit identical to Fit.
+func (p Pipeline) FitContext(ctx context.Context, ds *dataset.Dataset) (*FittedPipeline, error) {
+	scorer, subspaces, err := p.resolve(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -425,9 +503,22 @@ func (p Pipeline) Fit(ds *dataset.Dataset) (*FittedPipeline, error) {
 	}
 	fitted := make([]FittedScorer, len(subspaces))
 	acc := newAccumulator(p.Agg, ds.N())
+	cfs, cancellable := scorer.(ContextFitScorer)
 	for j, sc := range subspaces {
-		f, scores, err := fs.Fit(ds, sc.S)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var f FittedScorer
+		var scores []float64
+		if cancellable {
+			f, scores, err = cfs.FitContext(ctx, ds, sc.S, p.Workers)
+		} else {
+			f, scores, err = fs.Fit(ds, sc.S)
+		}
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("ranking: fitting %v with %s: %w", sc.S, scorer.Name(), err)
 		}
 		fitted[j] = f
@@ -488,8 +579,19 @@ type PCAPipeline struct {
 
 // Rank projects and scores.
 func (p PCAPipeline) Rank(ds *dataset.Dataset) (*Result, error) {
+	return p.RankContext(context.Background(), ds)
+}
+
+// RankContext is Rank with cooperative cancellation. The PCA projection
+// and the single scoring pass are one unit of work, so ctx is only
+// checked between the two — cancellation latency is coarser than the
+// subspace pipelines'.
+func (p PCAPipeline) RankContext(ctx context.Context, ds *dataset.Dataset) (*Result, error) {
 	if p.Components == nil || p.Scorer == nil {
 		return nil, errors.New("ranking: PCA pipeline needs Components and Scorer")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	k := p.Components(ds.D())
 	if k < 1 {
@@ -501,6 +603,9 @@ func (p PCAPipeline) Rank(ds *dataset.Dataset) (*Result, error) {
 	proj, err := pca.FitTransform(ds.Standardized(), k)
 	if err != nil {
 		return nil, fmt.Errorf("ranking: PCA: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	scores, err := p.Scorer.Score(proj, subspace.Full(k))
 	if err != nil {
@@ -518,9 +623,12 @@ func (p PCAPipeline) Name() string {
 }
 
 // Ranker is the common interface of Pipeline and PCAPipeline, letting the
-// experiment harness treat all competitors uniformly.
+// experiment harness treat all competitors uniformly. Rank is the
+// background-context convenience; RankContext is the cancellable form
+// every harness loop should call.
 type Ranker interface {
 	Rank(ds *dataset.Dataset) (*Result, error)
+	RankContext(ctx context.Context, ds *dataset.Dataset) (*Result, error)
 	Name() string
 }
 

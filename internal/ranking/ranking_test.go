@@ -1,6 +1,7 @@
 package ranking
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -140,12 +141,14 @@ func TestPipelineErrors(t *testing.T) {
 
 type emptySearcher struct{}
 
-func (emptySearcher) Search(*dataset.Dataset) ([]subspace.Scored, error) { return nil, nil }
-func (emptySearcher) Name() string                                       { return "empty" }
+func (emptySearcher) Search(context.Context, *dataset.Dataset) ([]subspace.Scored, error) {
+	return nil, nil
+}
+func (emptySearcher) Name() string { return "empty" }
 
 type failingSearcher struct{}
 
-func (failingSearcher) Search(*dataset.Dataset) ([]subspace.Scored, error) {
+func (failingSearcher) Search(context.Context, *dataset.Dataset) ([]subspace.Scored, error) {
 	return nil, errors.New("boom")
 }
 func (failingSearcher) Name() string { return "failing" }

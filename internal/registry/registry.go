@@ -199,6 +199,9 @@ type PipelineOptions struct {
 	MaxSubspaces int
 	// Index pins the neighbor-index backend of indexable scorers.
 	Index neighbors.Kind
+	// Workers bounds the batch-pass parallelism of context-aware scorers
+	// (0 = one worker per CPU).
+	Workers int
 }
 
 // NewPipeline resolves a (searcher, scorer) name pair into the assembled
@@ -218,6 +221,7 @@ func NewPipeline(search, scorer string, o PipelineOptions) (ranking.Pipeline, er
 		Agg:          o.Agg,
 		MaxSubspaces: o.MaxSubspaces,
 		Index:        o.Index,
+		Workers:      o.Workers,
 	}, nil
 }
 

@@ -17,6 +17,7 @@
 package ris
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -116,6 +117,13 @@ type Result struct {
 
 // Search runs the level-wise RIS procedure on min-max normalized data.
 func Search(ds *dataset.Dataset, p Params) (*Result, error) {
+	return SearchContext(context.Background(), ds, p)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between candidate quality evaluations, so a cancelled context surfaces
+// ctx.Err() within one candidate's O(N²) neighborhood-counting pass.
+func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if ds.D() < 2 {
 		return nil, fmt.Errorf("ris: need at least 2 attributes, have %d", ds.D())
@@ -127,6 +135,9 @@ func Search(ds *dataset.Dataset, p Params) (*Result, error) {
 	for dim := 2; len(candidates) > 0 && dim <= p.MaxDim; dim++ {
 		var kept []subspace.Scored
 		for _, s := range candidates {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			q, cores, err := Quality(ds, s, p)
 			res.Evaluated++
 			if err != nil {
@@ -160,8 +171,8 @@ type Searcher struct {
 }
 
 // Search implements the two-step pipeline's subspace search step.
-func (r *Searcher) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
-	res, err := Search(ds, r.Params)
+func (r *Searcher) Search(ctx context.Context, ds *dataset.Dataset) ([]subspace.Scored, error) {
+	res, err := SearchContext(ctx, ds, r.Params)
 	if err != nil {
 		return nil, err
 	}

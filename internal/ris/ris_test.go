@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -165,7 +166,7 @@ func TestSearchErrors(t *testing.T) {
 func TestSearcherAdapter(t *testing.T) {
 	ds := clusteredPair(8, 300, 4)
 	s := &Searcher{}
-	list, err := s.Search(ds)
+	list, err := s.Search(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

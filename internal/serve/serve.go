@@ -11,18 +11,43 @@
 //	               subspace count, and persistence format version
 //	POST /score    score one point ({"point": [...]}) or a batch
 //	               ({"points": [[...], ...]}) against the model
+//	POST /rank     run a full deadlined HiCS ranking on posted rows
+//	               ({"rows": [[...], ...], "options": {...}})
+//
+// Every compute endpoint runs under the request's context: a client
+// disconnect cancels the in-flight work, and Config.RequestTimeout adds a
+// server-side deadline — a request over budget gets 504 and its Monte
+// Carlo workers stop within one chunk of work.
 //
 // The model is immutable after load and Model.Score is safe for
 // concurrent use, so the handler needs no locking.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"hics"
 )
+
+// Config wires the handler: the served model plus the per-request
+// execution policy.
+type Config struct {
+	// Model is the trained model behind /score, /healthz and /info.
+	Model *hics.Model
+	// RequestTimeout bounds the server-side compute of each /score and
+	// /rank request; 0 imposes no deadline beyond the client's own
+	// patience (a disconnect still cancels the work).
+	RequestTimeout time.Duration
+	// RankWorkers caps the parallelism of /rank rankings (0 = one worker
+	// per CPU). Batch /score parallelism is bounded on the model itself
+	// via Model.SetWorkers.
+	RankWorkers int
+}
 
 // ScoreRequest is the /score request body. Exactly one of Point and
 // Points must be set.
@@ -50,6 +75,65 @@ type pointResponse struct {
 
 type batchResponse struct {
 	Scores []float64 `json:"scores"`
+}
+
+// RankOptions is the JSON mirror of the hics.Options fields a /rank
+// request may set; zero values select the library defaults. The worker
+// bound is deliberately absent — parallelism is the server's admission
+// decision (Config.RankWorkers), not the client's.
+type RankOptions struct {
+	M               int     `json:"m,omitempty"`
+	Alpha           float64 `json:"alpha,omitempty"`
+	CandidateCutoff int     `json:"candidate_cutoff,omitempty"`
+	TopK            int     `json:"topk,omitempty"`
+	Test            string  `json:"test,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+	MinPts          int     `json:"minpts,omitempty"`
+	Aggregation     string  `json:"aggregation,omitempty"`
+	Search          string  `json:"search,omitempty"`
+	Scorer          string  `json:"scorer,omitempty"`
+	MaxDim          int     `json:"max_dim,omitempty"`
+	NeighborIndex   string  `json:"neighbor_index,omitempty"`
+}
+
+// options maps the request onto hics.Options, applying the server's
+// worker bound.
+func (o RankOptions) options(workers int) hics.Options {
+	return hics.Options{
+		M:               o.M,
+		Alpha:           o.Alpha,
+		CandidateCutoff: o.CandidateCutoff,
+		TopK:            o.TopK,
+		Test:            o.Test,
+		Seed:            o.Seed,
+		MinPts:          o.MinPts,
+		Aggregation:     o.Aggregation,
+		Search:          o.Search,
+		Scorer:          o.Scorer,
+		MaxDim:          o.MaxDim,
+		NeighborIndex:   o.NeighborIndex,
+		Workers:         workers,
+	}
+}
+
+// RankRequest is the /rank request body: the rows to rank (row-major, one
+// object per row) and the ranking options.
+type RankRequest struct {
+	Rows    [][]float64 `json:"rows"`
+	Options RankOptions `json:"options"`
+}
+
+// RankSubspace is one high-contrast projection of a /rank response.
+type RankSubspace struct {
+	Dims     []int   `json:"dims"`
+	Contrast float64 `json:"contrast"`
+}
+
+// RankResponse is the /rank response body: one aggregated outlier score
+// per posted row, plus the projections the scores were computed in.
+type RankResponse struct {
+	Scores    []float64      `json:"scores"`
+	Subspaces []RankSubspace `json:"subspaces"`
 }
 
 // Health is the /healthz response body.
@@ -80,12 +164,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// maxRequestBytes bounds a /score body; a million-point batch is a
-// mistake, not a query.
+// maxRequestBytes bounds a /score or /rank body; a million-point batch is
+// a mistake, not a query.
 const maxRequestBytes = 64 << 20
 
-// NewHandler returns the hicsd HTTP handler serving the given model.
+// NewHandler returns the hicsd HTTP handler serving the given model with
+// the default execution policy: no server-side deadline, unbounded
+// ranking parallelism.
 func NewHandler(m *hics.Model) http.Handler {
+	return New(Config{Model: m})
+}
+
+// New returns the hicsd HTTP handler for the given configuration.
+func New(cfg Config) http.Handler {
+	m := cfg.Model
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Health{
@@ -136,9 +228,11 @@ func NewHandler(m *hics.Model) http.Handler {
 			}
 			writeJSON(w, http.StatusOK, pointResponse{Score: s})
 		case req.Points != nil:
-			scores, err := m.ScoreBatch(req.Points)
+			ctx, cancel := cfg.requestContext(r)
+			defer cancel()
+			scores, err := m.ScoreBatchContext(ctx, req.Points)
 			if err != nil {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				writeComputeError(w, err)
 				return
 			}
 			if scores == nil {
@@ -149,7 +243,61 @@ func NewHandler(m *hics.Model) http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set "point" or "points"`})
 		}
 	})
+	mux.HandleFunc("/rank", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+			return
+		}
+		var req RankRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request: %v", err)})
+			return
+		}
+		if len(req.Rows) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"rows" must hold at least one row`})
+			return
+		}
+		ctx, cancel := cfg.requestContext(r)
+		defer cancel()
+		res, err := hics.RankContext(ctx, req.Rows, req.Options.options(cfg.RankWorkers))
+		if err != nil {
+			writeComputeError(w, err)
+			return
+		}
+		resp := RankResponse{Scores: res.Scores, Subspaces: make([]RankSubspace, len(res.Subspaces))}
+		for i, s := range res.Subspaces {
+			resp.Subspaces[i] = RankSubspace{Dims: s.Dims, Contrast: s.Contrast}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	return mux
+}
+
+// requestContext derives a compute context for one request: the client's
+// context (cancelled when the connection drops), bounded by the
+// configured server-side budget.
+func (cfg Config) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// writeComputeError maps a scoring/ranking failure onto the response: an
+// exceeded server budget is 504, a client disconnect gets no response
+// (nobody is listening), anything else is the client's fault.
+func writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request exceeded the server's compute budget"})
+	case errors.Is(err, context.Canceled):
+		// The client went away; the work was cancelled on its behalf.
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"hics"
 	"hics/internal/rng"
@@ -230,4 +231,156 @@ func TestScoreConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// rankRows builds the rows of a /rank request body: a correlated pair in
+// attrs 0,1 plus a noise attr, with an anti-diagonal outlier at row 0.
+func rankRows(n int) [][]float64 {
+	r := rng.New(2)
+	rows := make([][]float64, n)
+	for i := range rows {
+		c := 0.3
+		if r.Float64() < 0.5 {
+			c = 0.7
+		}
+		rows[i] = []float64{r.NormalScaled(c, 0.04), r.NormalScaled(c, 0.04), r.Float64()}
+	}
+	rows[0][0] = 0.3
+	rows[0][1] = 0.7
+	return rows
+}
+
+func postRank(t *testing.T, srv *httptest.Server, body []byte) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.String()
+}
+
+// TestRankEndpoint checks POST /rank runs a full ranking and returns
+// exactly the hics.Rank result for the same rows and options.
+func TestRankEndpoint(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Minute}))
+	defer srv.Close()
+
+	rows := rankRows(120)
+	req := RankRequest{Rows: rows, Options: RankOptions{M: 10, Seed: 1, TopK: 5}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, got := postRank(t, srv, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	var rr RankResponse
+	if err := json.Unmarshal([]byte(got), &rr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hics.Rank(rows, hics.Options{M: 10, Seed: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Scores) != len(want.Scores) {
+		t.Fatalf("scores = %d, want %d", len(rr.Scores), len(want.Scores))
+	}
+	for i := range want.Scores {
+		if rr.Scores[i] != want.Scores[i] {
+			t.Errorf("served scores[%d] = %v, library %v", i, rr.Scores[i], want.Scores[i])
+		}
+	}
+	if len(rr.Subspaces) != len(want.Subspaces) {
+		t.Fatalf("subspaces = %d, want %d", len(rr.Subspaces), len(want.Subspaces))
+	}
+	for i := range want.Subspaces {
+		if rr.Subspaces[i].Contrast != want.Subspaces[i].Contrast {
+			t.Errorf("subspace %d contrast %v, want %v", i, rr.Subspaces[i].Contrast, want.Subspaces[i].Contrast)
+		}
+	}
+}
+
+// TestRankEndpointDeadline checks a request over the configured compute
+// budget is cut off with 504 instead of running to completion.
+func TestRankEndpointDeadline(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Millisecond}))
+	defer srv.Close()
+
+	req := RankRequest{Rows: rankRows(400), Options: RankOptions{M: 5000, Seed: 1}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, got := postRank(t, srv, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, got)
+	}
+	if !strings.Contains(got, "budget") {
+		t.Errorf("timeout body %q does not mention the budget", got)
+	}
+}
+
+// TestRankEndpointBadRequests checks validation surfaces as 400s.
+func TestRankEndpointBadRequests(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m}))
+	defer srv.Close()
+	cases := []string{
+		``,                        // empty body
+		`{`,                       // invalid JSON
+		`{}`,                      // no rows
+		`{"rows": []}`,            // empty rows
+		`{"rowz": [[1, 2]]}`,      // unknown field
+		`{"rows": [[1, 2], [3]]}`, // ragged rows
+		`{"rows": [[1, 2], [3, 4]], "options": {"search": "bogus"}}`, // unknown method
+		`{"rows": [[1, 2], [3, 4]], "options": {"m": -1}}`,           // invalid M
+	}
+	for _, body := range cases {
+		resp, got := postRank(t, srv, []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d (%s), want 400", body, resp.StatusCode, got)
+		}
+	}
+	// GET on /rank is rejected.
+	resp, err := http.Get(srv.URL + "/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /rank status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestScoreBatchDeadline checks the batch scoring path shares the
+// request budget.
+func TestScoreBatchDeadline(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Nanosecond}))
+	defer srv.Close()
+	r := rng.New(3)
+	points := make([][]float64, 5000)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	body, err := json.Marshal(ScoreRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504", resp.StatusCode)
+	}
 }

@@ -14,6 +14,7 @@
 package surfing
 
 import (
+	"context"
 	"fmt"
 
 	"hics/internal/dataset"
@@ -104,6 +105,13 @@ type Result struct {
 
 // Search runs the level-wise SURFING procedure.
 func Search(ds *dataset.Dataset, p Params) (*Result, error) {
+	return SearchContext(context.Background(), ds, p)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between candidate quality evaluations, so a cancelled context surfaces
+// ctx.Err() within one candidate's k-NN pass.
+func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if ds.D() < 2 {
 		return nil, fmt.Errorf("surfing: need at least 2 attributes, have %d", ds.D())
@@ -115,6 +123,9 @@ func Search(ds *dataset.Dataset, p Params) (*Result, error) {
 	for dim := 2; len(candidates) > 0 && dim <= p.MaxDim; dim++ {
 		var kept []subspace.Scored
 		for _, s := range candidates {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			q, err := Quality(ds, s, p)
 			res.Evaluated++
 			if err != nil {
@@ -146,8 +157,8 @@ type Searcher struct {
 }
 
 // Search implements the two-step pipeline's subspace search step.
-func (s *Searcher) Search(ds *dataset.Dataset) ([]subspace.Scored, error) {
-	res, err := Search(ds, s.Params)
+func (s *Searcher) Search(ctx context.Context, ds *dataset.Dataset) ([]subspace.Scored, error) {
+	res, err := SearchContext(ctx, ds, s.Params)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package surfing
 
 import (
+	"context"
 	"testing"
 
 	"hics/internal/dataset"
@@ -133,7 +134,7 @@ func TestSearchErrors(t *testing.T) {
 func TestSearcherAdapter(t *testing.T) {
 	ds := clusteredPair(7, 200, 4)
 	s := &Searcher{}
-	list, err := s.Search(ds)
+	list, err := s.Search(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

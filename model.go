@@ -2,19 +2,20 @@ package hics
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"strings"
 	"sync"
 
 	"hics/internal/dataset"
 	"hics/internal/lof"
 	"hics/internal/neighbors"
+	"hics/internal/parallel"
 	"hics/internal/ranking"
 	"hics/internal/registry"
 	"hics/internal/subspace"
@@ -36,6 +37,7 @@ type Model struct {
 	minPts  int    // effective neighborhood size
 	agg     ranking.Aggregation
 	version uint32 // persistence format the model was loaded from
+	workers int    // ScoreBatch parallelism bound (0 = one per CPU)
 
 	subspaces   []Subspace
 	trainScores []float64
@@ -53,6 +55,15 @@ type Model struct {
 // model's training scores are bit-for-bit the Rank scores for the same
 // data and options.
 func Fit(rows [][]float64, opts Options) (*Model, error) {
+	return FitContext(context.Background(), rows, opts)
+}
+
+// FitContext is Fit with cooperative cancellation: the subspace search
+// observes ctx throughout its Monte Carlo loops and the per-subspace
+// fitting passes check it between subspaces. A cancelled or deadlined
+// context makes the call return ctx.Err() promptly; an uncancelled fit
+// is bit-for-bit identical to Fit.
+func FitContext(ctx context.Context, rows [][]float64, opts Options) (*Model, error) {
 	ds, err := toDataset(rows)
 	if err != nil {
 		return nil, err
@@ -77,7 +88,7 @@ func Fit(rows [][]float64, opts Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	fp, err := pipe.Fit(ds)
+	fp, err := pipe.FitContext(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +100,7 @@ func Fit(rows [][]float64, opts Options) (*Model, error) {
 		minPts:      opts.MinPts,
 		agg:         fp.Agg,
 		version:     modelFormatVersion,
+		workers:     opts.Workers,
 		trainScores: fp.Train,
 	}
 	m.subspaces = make([]Subspace, len(fp.Subspaces))
@@ -201,55 +213,55 @@ func (m *Model) trainIndex(point []float64) (int, bool) {
 	return i, ok
 }
 
-// ScoreBatch scores every row, parallelized over the CPUs, with Score's
-// semantics per row: genuinely new points score out of sample, rows
-// bit-identical to a training row reproduce that row's batch score.
+// ScoreBatch scores every row, parallelized over at most SetWorkers
+// goroutines (default one per CPU), with Score's semantics per row:
+// genuinely new points score out of sample, rows bit-identical to a
+// training row reproduce that row's batch score.
 func (m *Model) ScoreBatch(rows [][]float64) ([]float64, error) {
+	return m.ScoreBatchContext(context.Background(), rows)
+}
+
+// batchChunk is the ScoreBatch work-claim granularity: small enough that
+// cancellation is observed within a few milliseconds of scoring work per
+// worker, large enough that the atomic claim counter stays cold.
+const batchChunk = 8
+
+// ScoreBatchContext is ScoreBatch with cooperative cancellation: workers
+// check ctx every few rows, so a cancelled or deadlined context makes
+// the call return ctx.Err() within a bounded amount of per-worker work
+// and with every worker goroutine joined. An already-cancelled context
+// never starts scoring. Uncancelled results are identical to ScoreBatch.
+func (m *Model) ScoreBatchContext(ctx context.Context, rows [][]float64) ([]float64, error) {
 	for i, row := range rows {
 		if len(row) != m.fp.D {
 			return nil, fmt.Errorf("hics: row %d has %d attributes, model expects %d", i, len(row), m.fp.D)
 		}
 	}
 	out := make([]float64, len(rows))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	chunk := (len(rows) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				s, err := m.Score(rows[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = s
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := parallel.ForEach(ctx, len(rows), m.workers, batchChunk, func(_, i int) error {
+		s, err := m.Score(rows[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SetWorkers bounds the goroutines ScoreBatch and ScoreBatchContext fan
+// out over; n <= 0 restores the default of one worker per CPU. Freshly
+// fitted models inherit Options.Workers; loaded models default to all
+// CPUs. Not safe to call concurrently with scoring — configure once at
+// startup.
+func (m *Model) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.workers = n
 }
 
 // Model persistence: a magic string and a little-endian uint32 format
