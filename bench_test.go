@@ -178,6 +178,66 @@ func BenchmarkRankBrute(b *testing.B) { benchRankIndexed(b, "brute") }
 // BenchmarkRankKDTree is the same pipeline on the k-d tree index.
 func BenchmarkRankKDTree(b *testing.B) { benchRankIndexed(b, "kdtree") }
 
+// BenchmarkStreamScore measures the streaming hot path: one Push through
+// a warm never-refitting detector — ring-buffer append plus a frozen
+// out-of-sample score, the per-row cost an always-on hicsd /stream
+// session pays.
+func BenchmarkStreamScore(b *testing.B) {
+	r := rng.New(55)
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	m, err := Fit(rows, Options{M: 10, Seed: 1, TopK: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := m.NewStream(StreamOptions{Window: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Push(ctx, rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamRefit measures a full synchronous refit cycle: Window
+// pushes with one model re-fit over the window — the amortized cost of a
+// drift-following stream per RefitEvery arrivals.
+func BenchmarkStreamRefit(b *testing.B) {
+	r := rng.New(56)
+	rows := make([][]float64, 256)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	const window = 128
+	m, err := Fit(rows, Options{M: 10, Seed: 1, TopK: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := m.NewStream(StreamOptions{Window: window, RefitEvery: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < window; j++ {
+			if _, err := st.Push(ctx, rows[(i*window+j)%len(rows)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkRankEndToEnd measures the complete public-API pipeline on a
 // mid-size synthetic dataset — the library's end-to-end cost per call.
 func BenchmarkRankEndToEnd(b *testing.B) {

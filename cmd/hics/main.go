@@ -4,6 +4,7 @@
 // Usage:
 //
 //	hics [flags] <input.csv>
+//	hics -stream [flags] [input.csv]
 //	hics -list-methods
 //
 // The input is numeric CSV; with -header the first row names the
@@ -16,10 +17,18 @@
 // -list-methods prints every registered name. With -save-model the fitted
 // model is additionally persisted for out-of-sample scoring via the hicsd
 // server (fit requires a -scorer supporting the fit/score split).
+//
+// With -stream the command becomes an online detector: rows are read
+// incrementally from stdin (or the input file), the first -window rows
+// fit the initial model, and every row is scored as it arrives — one
+// NDJSON record {"index","score","refits"} per line on stdout.
+// -refit-every re-fits the model over the sliding window periodically;
+// Ctrl-C stops the stream cleanly via the shared context plumbing.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -84,9 +93,13 @@ func run(ctx context.Context, args []string) error {
 		subOnly     = fs.Bool("subspaces-only", false, "run only the subspace search, skip the ranking step")
 		saveModel   = fs.String("save-model", "", "fit a reusable model and save it to this file (serve it with hicsd)")
 		listMethods = fs.Bool("list-methods", false, "list the registered searcher and scorer names and exit")
+		streamMode  = fs.Bool("stream", false, "stream rows from stdin (or the input file): fit on the first -window rows, then score each row as it arrives, NDJSON out")
+		window      = fs.Int("window", 100, "stream: sliding-window size (must exceed -minpts)")
+		refitEvery  = fs.Int("refit-every", 0, "stream: re-fit the model over the window every N arrivals (0 = never)")
+		streamAsync = fs.Bool("stream-async", false, "stream: re-fit in the background, keep scoring with the current model meanwhile")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hics [flags] <input.csv>")
+		fmt.Fprintln(fs.Output(), "usage: hics [flags] <input.csv>\n       hics -stream [flags] [input.csv]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +108,36 @@ func run(ctx context.Context, args []string) error {
 	if *listMethods {
 		return printMethods(os.Stdout)
 	}
+
+	if *streamMode {
+		if *saveModel != "" || *subOnly {
+			return fmt.Errorf("-stream cannot be combined with -save-model or -subspaces-only")
+		}
+		opts := hics.Options{
+			M: *m, Alpha: *alpha, CandidateCutoff: *cutoff, TopK: *topk,
+			Test: *test, Seed: *seed, MinPts: *minPts, Workers: *workers,
+			Aggregation: *aggName, NeighborIndex: *index,
+			Search: *search, Scorer: *scorer,
+		}
+		sopts := hics.StreamOptions{Window: *window, RefitEvery: *refitEvery, Async: *streamAsync}
+		in := io.Reader(os.Stdin)
+		switch {
+		case fs.NArg() == 0 || (fs.NArg() == 1 && fs.Arg(0) == "-"):
+			// stdin — the `hicsgen | hics -stream` pipe.
+		case fs.NArg() == 1:
+			f, err := os.Open(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		default:
+			fs.Usage()
+			return fmt.Errorf("expected at most one input file, got %d", fs.NArg())
+		}
+		return runStream(ctx, in, os.Stdout, opts, sopts, dataset.CSVOptions{Header: *header, LabelColumn: *label})
+	}
+
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one input file, got %d", fs.NArg())
@@ -173,6 +216,57 @@ func run(ctx context.Context, args []string) error {
 	}
 	printSubspaces(ds, *search, *test, res.Subspaces, 10)
 	reportRanking(l, res.Scores, *outl, *scorer, agg)
+	return nil
+}
+
+// runStream drives the online detector: CSV rows are read incrementally
+// from in (label column dropped — streaming is unsupervised), pushed into
+// a cold hics.Stream, and every scored arrival is emitted to out as one
+// NDJSON record. The context cancels mid-read (Ctrl-C), and a summary
+// goes to stderr so stdout stays pure NDJSON.
+func runStream(ctx context.Context, in io.Reader, out io.Writer, opts hics.Options, sopts hics.StreamOptions, csvOpts dataset.CSVOptions) error {
+	cs, err := dataset.NewCSVStream(in, csvOpts)
+	if err != nil {
+		return err
+	}
+	st, err := hics.NewStream(opts, sopts)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	enc := json.NewEncoder(out)
+	scored := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		row, _, err := cs.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		results, err := st.Push(ctx, row)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		scored += len(results)
+	}
+	if err := st.Drain(ctx); err != nil {
+		return err
+	}
+	if !st.Warm() {
+		fmt.Fprintf(os.Stderr, "hics: stream ended during warmup: %d of %d rows buffered, nothing scored (lower -window to score shorter feeds)\n",
+			st.Seen(), sopts.Window)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "hics: stream done: %d rows seen, %d scored, %d refits\n", st.Seen(), scored, st.Refits())
 	return nil
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -217,6 +218,123 @@ func TestRunSaveModel(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-subspaces-only", "-save-model", modelPath, path}); err == nil {
 		t.Error("-save-model with -subspaces-only should fail")
+	}
+}
+
+// TestRunStreamEndToEnd drives the streaming mode through runStream and
+// checks every input row comes back as one NDJSON record, in order, with
+// refits occurring at the configured cadence.
+func TestRunStreamEndToEnd(t *testing.T) {
+	path := writeTestCSV(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	opts := hics.Options{M: 10, TopK: 3, Seed: 5, MinPts: 5}
+	sopts := hics.StreamOptions{Window: 50, RefitEvery: 30}
+	if err := runStream(context.Background(), f, &out, opts, sopts, dataset.CSVOptions{Header: true}); err != nil {
+		t.Fatalf("runStream: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 120 {
+		t.Fatalf("streamed %d lines for 120 rows", len(lines))
+	}
+	var last hics.StreamResult
+	for i, line := range lines {
+		var rec hics.StreamResult
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %q (%v)", i, line, err)
+		}
+		if rec.Index != i {
+			t.Fatalf("line %d has index %d", i, rec.Index)
+		}
+		last = rec
+	}
+	if last.Refits == 0 {
+		t.Errorf("stream never refitted: %+v", last)
+	}
+}
+
+// TestRunStreamFlag runs the full CLI flag path (file argument variant).
+func TestRunStreamFlag(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run(context.Background(), []string{"-stream", "-M", "10", "-topk", "3", "-minpts", "5", "-window", "40", path}); err != nil {
+		t.Fatalf("run -stream failed: %v", err)
+	}
+}
+
+// TestRunStreamValidation: stream flag misuse and option errors surface
+// with the offending name.
+func TestRunStreamValidation(t *testing.T) {
+	path := writeTestCSV(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-stream", "-save-model", "m.hics", path}, "-stream"},
+		{[]string{"-stream", "-subspaces-only", path}, "-stream"},
+		{[]string{"-stream", "-window", "5", path}, "StreamOptions.Window"},
+		{[]string{"-stream", "-refit-every", "-1", path}, "StreamOptions.RefitEvery"},
+		{[]string{"-stream", "-stream-async", path}, "StreamOptions.Async"},
+		{[]string{"-stream", path, "extra.csv"}, "at most one"},
+	}
+	for _, tc := range cases {
+		err := run(context.Background(), tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) err = %v, want mention of %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestRunStreamRejectsNonFinite: a NaN smuggled in through CSV (which
+// parses it happily) is rejected by the stream boundary with the row and
+// attribute named.
+func TestRunStreamRejectsNonFinite(t *testing.T) {
+	in := strings.NewReader("a,b\n0.1,0.2\nNaN,0.3\n")
+	var out bytes.Buffer
+	err := runStream(context.Background(), in, &out,
+		hics.Options{M: 5, MinPts: 2}, hics.StreamOptions{Window: 3},
+		dataset.CSVOptions{Header: true})
+	if err == nil || !strings.Contains(err.Error(), "row 1") || !strings.Contains(err.Error(), "attribute 0") {
+		t.Errorf("NaN row: err = %v, want row 1 attribute 0 named", err)
+	}
+}
+
+// TestRunStreamShortFeed: a feed shorter than the window warms up
+// forever, emits nothing, and exits cleanly with the stderr hint.
+func TestRunStreamShortFeed(t *testing.T) {
+	in := strings.NewReader("a,b\n0.1,0.2\n0.3,0.4\n")
+	var out bytes.Buffer
+	err := runStream(context.Background(), in, &out,
+		hics.Options{M: 5, MinPts: 2}, hics.StreamOptions{Window: 10},
+		dataset.CSVOptions{Header: true})
+	if err != nil {
+		t.Fatalf("short feed: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("short feed emitted %q, want nothing", out.String())
+	}
+}
+
+// TestRunStreamCancelled: a cancelled context stops the stream with
+// context.Canceled (the Ctrl-C path).
+func TestRunStreamCancelled(t *testing.T) {
+	path := writeTestCSV(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err = runStream(ctx, f, &out,
+		hics.Options{M: 10, MinPts: 5}, hics.StreamOptions{Window: 40},
+		dataset.CSVOptions{Header: true})
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("cancelled stream: err = %v, want context.Canceled", err)
 	}
 }
 

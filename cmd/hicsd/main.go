@@ -3,24 +3,32 @@
 // Usage:
 //
 //	hicsd -model model.hics [-addr :8080] [-request-timeout 1m] [-workers N]
+//	      [-stream-window N] [-stream-refit-every N] [-stream-async]
 //
 // The model file is produced by hics.Model.Save — most conveniently via
 // `hics -save-model model.hics data.csv`. The server loads it once at
 // startup and answers concurrent scoring requests:
 //
-//	GET  /healthz  liveness and model shape
-//	GET  /info     method pair (searcher, scorer), subspace count, format version
-//	POST /score    {"point": [...]} or {"points": [[...], ...]}
-//	POST /rank     {"rows": [[...], ...], "options": {...}} — a full
-//	               deadlined HiCS ranking on the posted rows
+//	GET  /healthz     liveness and model shape
+//	GET  /info        method pair (searcher, scorer), subspace count,
+//	                  format version, server version
+//	POST /score       {"point": [...]} or {"points": [[...], ...]}
+//	POST /rank        {"rows": [[...], ...], "options": {...}} — a full
+//	                  deadlined HiCS ranking on the posted rows
+//	POST /stream      NDJSON streaming scoring: one JSON row per line in,
+//	                  one {"index","score","refits"} record per line out,
+//	                  flushed as each row is scored; ?window=, ?refit_every=
+//	                  and ?async= override the -stream-* defaults
+//	GET  /debug/vars  expvar counters: requests, errors, active streams,
+//	                  refits, last score latency
 //
 // Scoring is out-of-sample against the frozen training state — the
 // Monte Carlo subspace search never runs at serving time, so a /score
 // round trip costs a handful of neighbor queries per selected subspace.
 // /rank does run the full search, which is why every request carries a
 // deadline: -request-timeout bounds the server-side compute, a client
-// disconnect cancels the in-flight work, and -workers caps how many CPUs
-// one request may occupy.
+// disconnect cancels the in-flight work (including an open stream), and
+// -workers caps how many CPUs one request may occupy.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests for up to the shutdown grace period, and exits
@@ -59,13 +67,16 @@ const shutdownGrace = 15 * time.Second
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hicsd", flag.ContinueOnError)
 	var (
-		modelPath  = fs.String("model", "", "path to a saved model file (required)")
-		addr       = fs.String("addr", ":8080", "listen address")
-		reqTimeout = fs.Duration("request-timeout", time.Minute, "server-side compute budget per /score and /rank request (0 = unlimited)")
-		workers    = fs.Int("workers", 0, "max goroutines one request may fan out over (0 = one per CPU)")
+		modelPath   = fs.String("model", "", "path to a saved model file (required)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		reqTimeout  = fs.Duration("request-timeout", time.Minute, "server-side compute budget per /score, /rank and /stream request (0 = unlimited)")
+		workers     = fs.Int("workers", 0, "max goroutines one request may fan out over (0 = one per CPU)")
+		streamWin   = fs.Int("stream-window", 0, "default /stream sliding-window size (0 = the model's training-set size)")
+		streamRefit = fs.Int("stream-refit-every", 0, "default /stream refit cadence in arrivals (0 = never refit)")
+		streamAsync = fs.Bool("stream-async", false, "refit /stream models in the background instead of inline")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080] [-request-timeout 1m] [-workers N]")
+		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080] [-request-timeout 1m] [-workers N] [-stream-window N] [-stream-refit-every N] [-stream-async]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +96,15 @@ func run(ctx context.Context, args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be non-negative, got %d (0 selects one per CPU)", *workers)
 	}
+	if *streamWin < 0 {
+		return fmt.Errorf("-stream-window must be non-negative, got %d (0 selects the model's training-set size)", *streamWin)
+	}
+	if *streamRefit < 0 {
+		return fmt.Errorf("-stream-refit-every must be non-negative, got %d (0 never refits)", *streamRefit)
+	}
+	if *streamAsync && *streamRefit == 0 {
+		return fmt.Errorf("-stream-async requires -stream-refit-every > 0")
+	}
 	m, err := loadModel(*modelPath)
 	if err != nil {
 		return err
@@ -98,10 +118,12 @@ func run(ctx context.Context, args []string) error {
 		*modelPath, m.SearchMethod(), m.ScorerMethod(), m.FormatVersion(),
 		m.N(), m.D(), len(m.Subspaces()), ln.Addr())
 
-	// The write timeout must outlast the compute budget, or a request
-	// that legitimately uses its whole budget is cut off mid-response.
-	// An unlimited budget (0) therefore disables the write bound too —
-	// the read, header and idle timeouts still fence off slow clients.
+	// The write and read timeouts must outlast the compute budget, or a
+	// request that legitimately uses its whole budget is cut off
+	// mid-response — and a /stream session, whose request body is the
+	// live NDJSON feed, would be cut off mid-read. An unlimited budget
+	// (0) therefore disables both bounds — the header and idle timeouts
+	// still fence off slow clients.
 	writeTimeout := time.Duration(0)
 	if *reqTimeout > 0 {
 		writeTimeout = *reqTimeout + 10*time.Second
@@ -109,17 +131,23 @@ func run(ctx context.Context, args []string) error {
 			writeTimeout = time.Minute
 		}
 	}
+	readTimeout := writeTimeout
 	srv := &http.Server{
 		Handler: serve.New(serve.Config{
-			Model:          m,
-			RequestTimeout: *reqTimeout,
-			RankWorkers:    *workers,
+			Model:            m,
+			RequestTimeout:   *reqTimeout,
+			RankWorkers:      *workers,
+			StreamWindow:     *streamWin,
+			StreamRefitEvery: *streamRefit,
+			StreamAsync:      *streamAsync,
 		}),
 		// Slow or idle clients must not pin goroutines and descriptors
 		// forever: bound the header read, the body read, the response
-		// write, and keep-alive idling.
+		// write, and keep-alive idling. The body/response bounds follow
+		// the request budget so streams live exactly as long as -request-
+		// timeout allows.
 		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       time.Minute,
+		ReadTimeout:       readTimeout,
 		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -148,4 +148,13 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-model", model, "-request-timeout", "-5s"}); err == nil || !strings.Contains(err.Error(), "-request-timeout") {
 		t.Errorf("negative -request-timeout: err = %v, want mention of -request-timeout", err)
 	}
+	if err := run(context.Background(), []string{"-model", model, "-stream-window", "-1"}); err == nil || !strings.Contains(err.Error(), "-stream-window") {
+		t.Errorf("negative -stream-window: err = %v, want mention of -stream-window", err)
+	}
+	if err := run(context.Background(), []string{"-model", model, "-stream-refit-every", "-2"}); err == nil || !strings.Contains(err.Error(), "-stream-refit-every") {
+		t.Errorf("negative -stream-refit-every: err = %v, want mention of -stream-refit-every", err)
+	}
+	if err := run(context.Background(), []string{"-model", model, "-stream-async"}); err == nil || !strings.Contains(err.Error(), "-stream-async") {
+		t.Errorf("-stream-async without cadence: err = %v, want mention of -stream-async", err)
+	}
 }

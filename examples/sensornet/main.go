@@ -1,38 +1,58 @@
 // Sensornet: the environmental-surveillance scenario from the paper's
-// introduction (Fig. 1).
+// introduction (Fig. 1), run as a live stream.
 //
 // A network of sensor nodes reports four readings: noise level, air
 // pollution index, humidity and temperature. Two physical couplings hold
 // for regular nodes: traffic links noise to pollution, and weather links
-// humidity to temperature. Two faulty nodes violate one coupling each —
-// outlier1 reports heavy pollution at low noise, outlier2 reports dry
-// heat during humid weather — while every individual reading stays within
-// its normal range. No single attribute and no full-space distance
-// exposes them reliably; the {noise, pollution} and {humidity,
-// temperature} subspaces do.
+// humidity to temperature. Faulty nodes violate one coupling each —
+// heavy pollution at low noise, or dry heat during humid weather — while
+// every individual reading stays within its normal range. No single
+// attribute and no full-space distance exposes them reliably; the
+// {noise, pollution} and {humidity, temperature} subspaces do.
+//
+// Where the original example batch-ranked a fixed snapshot, this version
+// drives the streaming API end to end: a model is fitted once on a
+// calibration phase of known-good readings, then a continuous feed runs
+// through hics.Model.NewStream — every reading is scored the moment it
+// arrives, the detector re-fits itself over its sliding window every 100
+// readings, and the two faulty reports injected mid-stream raise alerts
+// while regular traffic stays quiet.
 //
 // Run with: go run ./examples/sensornet
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"sort"
 
 	"hics"
 )
 
-const nNodes = 500
+const (
+	calibration = 400 // known-good readings used for the initial fit
+	live        = 120 // readings arriving after deployment
+	fault1At    = 40  // arrival index of the pollution-coupling fault
+	fault2At    = 85  // arrival index of the weather-coupling fault
+)
 
 func main() {
-	readings, names := simulateNetwork()
+	net := newNetwork(42)
+	names := []string{"noise", "pollution", "humidity", "temperature"}
 
-	subs, err := hics.SearchSubspaces(readings, hics.Options{M: 100, Seed: 3, TopK: 5})
+	// Calibration: fit the subspace model once on clean traffic.
+	train := make([][]float64, calibration)
+	for i := range train {
+		train[i] = net.regular()
+	}
+	model, err := hics.Fit(train, hics.Options{M: 100, Seed: 3, TopK: 5, MinPts: 15})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("high-contrast attribute combinations found:")
-	for _, s := range subs {
+	fmt.Println("couplings learned during calibration:")
+	for _, s := range model.Subspaces() {
 		fmt.Printf("  contrast %.3f:", s.Contrast)
 		for _, d := range s.Dims {
 			fmt.Printf(" %s", names[d])
@@ -40,39 +60,101 @@ func main() {
 		fmt.Println()
 	}
 
-	res, err := hics.Rank(readings, hics.Options{M: 100, Seed: 3, MinPts: 15})
+	// Alerts fire above the 99.5th percentile of the calibration scores —
+	// roughly two readings per thousand of regular traffic may still trip
+	// it, the usual recall/noise trade of a percentile threshold.
+	threshold := quantile(model.TrainingScores(), 0.995)
+
+	// Deployment: the fitted model becomes an always-on detector that
+	// follows the feed, re-fitting over its last 100 readings every 100
+	// arrivals (synchronously, so this output is fully reproducible).
+	stream, err := model.NewStream(hics.StreamOptions{Window: 100, RefitEvery: 100})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmost suspicious sensor nodes (nodes %d and %d are the faulty ones):\n",
-		nNodes, nNodes+1)
-	for rank, i := range res.TopOutliers(4) {
-		fmt.Printf("  %d. node %3d  score %.3f  readings: noise=%.2f pollution=%.2f humidity=%.2f temp=%.2f\n",
-			rank+1, i, res.Scores[i],
-			readings[i][0], readings[i][1], readings[i][2], readings[i][3])
+	defer stream.Close()
+
+	fmt.Printf("\nlive feed (%d readings, alert threshold %.2f):\n", live, threshold)
+	ctx := context.Background()
+	for i := 0; i < live; i++ {
+		var reading []float64
+		switch i {
+		case fault1At:
+			reading = net.faultyPollution()
+		case fault2At:
+			reading = net.faultyWeather()
+		default:
+			reading = net.regular()
+		}
+		results, err := stream.Push(ctx, reading)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Score <= threshold {
+				continue
+			}
+			kind := "regular"
+			switch r.Index {
+			case fault1At:
+				kind = "planted pollution fault"
+			case fault2At:
+				kind = "planted weather fault"
+			}
+			fmt.Printf("  ALERT reading %3d  score %6.2f  (%s)  noise=%.2f pollution=%.2f humidity=%.2f temp=%.2f\n",
+				r.Index, r.Score, kind, reading[0], reading[1], reading[2], reading[3])
+		}
+	}
+	fmt.Printf("\nstream summary: %d readings scored, %d model refits\n", stream.Seen(), stream.Refits())
+}
+
+// quantile returns the q-quantile of the scores (nearest-rank).
+func quantile(scores []float64, q float64) float64 {
+	s := append([]float64(nil), scores...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// network simulates the sensor field of the paper's Fig. 1.
+type network struct{ r *prng }
+
+func newNetwork(seed uint64) *network { return &network{r: rnd(seed)} }
+
+// regular samples a healthy node: noise tracks pollution through the
+// latent traffic level, humidity anti-tracks temperature through the
+// weather.
+func (n *network) regular() []float64 {
+	traffic := n.r.float()
+	weather := n.r.float()
+	return []float64{
+		clamp(0.2 + 0.6*traffic + 0.04*n.r.normal()),
+		clamp(0.15 + 0.65*traffic + 0.04*n.r.normal()),
+		clamp(0.2 + 0.6*weather + 0.04*n.r.normal()),
+		clamp(0.8 - 0.6*weather + 0.04*n.r.normal()),
 	}
 }
 
-// simulateNetwork builds readings for nNodes regular sensors plus the two
-// faulty nodes of the paper's Fig. 1.
-func simulateNetwork() ([][]float64, []string) {
-	names := []string{"noise", "pollution", "humidity", "temperature"}
-	r := rnd(42)
-	rows := make([][]float64, 0, nNodes+2)
-	for i := 0; i < nNodes; i++ {
-		traffic := r.float() // latent traffic intensity around the node
-		weather := r.float() // latent weather state
-		noise := clamp(0.2 + 0.6*traffic + 0.04*r.normal())
-		pollution := clamp(0.15 + 0.65*traffic + 0.04*r.normal())
-		humidity := clamp(0.2 + 0.6*weather + 0.04*r.normal())
-		temperature := clamp(0.8 - 0.6*weather + 0.04*r.normal())
-		rows = append(rows, []float64{noise, pollution, humidity, temperature})
+// faultyPollution reports a pollution spike without the matching traffic
+// noise — every value individually normal, the coupling broken.
+func (n *network) faultyPollution() []float64 {
+	return []float64{
+		clamp(0.25 + 0.04*n.r.normal()),
+		0.75,
+		clamp(0.5 + 0.04*n.r.normal()),
+		clamp(0.5 + 0.04*n.r.normal()),
 	}
-	// outlier1: pollution spike without the matching traffic noise.
-	rows = append(rows, []float64{clamp(0.25 + 0.04*r.normal()), 0.75, clamp(0.5 + 0.04*r.normal()), clamp(0.5 + 0.04*r.normal())})
-	// outlier2: hot and humid at once — against the weather coupling.
-	rows = append(rows, []float64{clamp(0.5 + 0.04*r.normal()), clamp(0.5 + 0.04*r.normal()), 0.78, 0.75})
-	return rows, names
+}
+
+// faultyWeather reports hot and humid at once — against the weather
+// coupling.
+func (n *network) faultyWeather() []float64 {
+	return []float64{
+		clamp(0.5 + 0.04*n.r.normal()),
+		clamp(0.5 + 0.04*n.r.normal()),
+		0.78,
+		0.75,
+	}
 }
 
 func clamp(v float64) float64 { return math.Max(0, math.Min(1, v)) }

@@ -17,7 +17,11 @@
 // (Contrast). For production scoring, Fit runs the expensive subspace
 // search once and returns a reusable Model that scores out-of-sample
 // points (Score, ScoreBatch) and persists to disk (Save, LoadModel); the
-// cmd/hicsd server exposes a trained model over HTTP.
+// cmd/hicsd server exposes a trained model over HTTP. For continuous
+// feeds, NewStream and Model.NewStream wrap a model in a sliding-window
+// online detector (Stream) that scores each arriving row and periodically
+// re-fits itself over its window — served as NDJSON by hicsd's /stream
+// endpoint and driven from the command line by hics -stream.
 //
 // Both pipeline steps are pluggable through a method registry: the
 // searchers and scorers of the paper's evaluation matrix (HiCS, Enclus,
@@ -44,6 +48,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"hics/internal/core"
 	"hics/internal/dataset"
@@ -374,6 +379,17 @@ func toDataset(rows [][]float64) (*dataset.Dataset, error) {
 	if len(rows) == 0 {
 		return nil, errors.New("hics: empty data")
 	}
+	// Non-finite values are rejected at the API boundary: a NaN poisons
+	// every statistic it touches and an Inf empties neighborhoods, so the
+	// pipeline would silently hand back meaningless scores. Naming the
+	// offending cell beats debugging a NaN ranking.
+	for i, row := range rows {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("hics: row %d column %d is %v, want a finite value", i, j, v)
+			}
+		}
+	}
 	return dataset.FromRows(nil, rows)
 }
 
@@ -489,4 +505,4 @@ func ScorerNames() []string { return registry.ScorerNames() }
 func FitScorerNames() []string { return registry.FitScorerNames() }
 
 // Version identifies the library release.
-const Version = "1.3.0"
+const Version = "1.4.0"

@@ -22,6 +22,103 @@ type CSVOptions struct {
 	Comma rune
 }
 
+// CSVStream incrementally parses numeric CSV rows: the header (when
+// present) is consumed at construction, and each Next call yields one
+// data row. It is the row source of the streaming entry points
+// (`hics -stream`), and ReadLabeledCSV is built on it, so batch and
+// streaming parsing cannot drift apart.
+type CSVStream struct {
+	cr       *csv.Reader
+	names    []string // data attribute names, label excluded; nil without header
+	labelIdx int      // index of the label field within a record, -1 if none
+	width    int      // fields per record; -1 until the first data row
+	line     int      // 1-based line counter for error messages
+}
+
+// NewCSVStream wraps r in an incremental CSV row parser, reading the
+// header record immediately when opts.Header is set.
+func NewCSVStream(r io.Reader, opts CSVOptions) (*CSVStream, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1 // validate ourselves for better messages
+	s := &CSVStream{cr: cr, labelIdx: -1, width: -1}
+	if !opts.Header {
+		if opts.LabelColumn != "" && opts.LabelColumn != "-" {
+			return nil, errors.New("dataset: LabelColumn requires Header")
+		}
+		return s, nil
+	}
+	rec, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	s.line++
+	for i, n := range rec {
+		ln := strings.ToLower(strings.TrimSpace(n))
+		switch {
+		case opts.LabelColumn != "" && opts.LabelColumn != "-" && n == opts.LabelColumn:
+			s.labelIdx = i
+		case opts.LabelColumn == "" && (ln == "label" || ln == "outlier"):
+			s.labelIdx = i
+		}
+	}
+	if opts.LabelColumn != "" && opts.LabelColumn != "-" && s.labelIdx == -1 {
+		return nil, fmt.Errorf("dataset: label column %q not found in header", opts.LabelColumn)
+	}
+	for i, n := range rec {
+		if i != s.labelIdx {
+			s.names = append(s.names, n)
+		}
+	}
+	return s, nil
+}
+
+// Next parses one data row, returning its numeric values (label column
+// excluded) and the label flag (false when the stream has no label
+// column). The returned error is io.EOF at the end of the input; parse
+// failures name the offending line and field. The returned slice is
+// freshly allocated each call.
+func (s *CSVStream) Next() (row []float64, label bool, err error) {
+	rec, err := s.cr.Read()
+	if errors.Is(err, io.EOF) {
+		return nil, false, io.EOF
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	s.line++
+	if s.width == -1 {
+		s.width = len(rec)
+	}
+	if len(rec) != s.width {
+		return nil, false, fmt.Errorf("dataset: line %d has %d fields, want %d", s.line, len(rec), s.width)
+	}
+	row = make([]float64, 0, s.width)
+	for i, f := range rec {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, false, fmt.Errorf("dataset: line %d field %d: %q is not numeric", s.line, i+1, f)
+		}
+		if i == s.labelIdx {
+			label = v != 0
+			continue
+		}
+		row = append(row, v)
+	}
+	return row, label, nil
+}
+
+// Names returns the data attribute names from the header (label column
+// excluded), or nil for a headerless stream.
+func (s *CSVStream) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
+// HasLabel reports whether a label column was detected in the header.
+func (s *CSVStream) HasLabel() bool { return s.labelIdx >= 0 }
+
 // ReadCSV parses numeric CSV data into a Dataset. Rows with a wrong field
 // count or non-numeric fields produce an error naming the offending line.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
@@ -36,87 +133,33 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 // outlier column per opts. If no label column is present, Labeled.Outlier
 // is nil.
 func ReadLabeledCSV(r io.Reader, opts CSVOptions) (*Labeled, error) {
-	cr := csv.NewReader(r)
-	if opts.Comma != 0 {
-		cr.Comma = opts.Comma
+	s, err := NewCSVStream(r, opts)
+	if err != nil {
+		return nil, err
 	}
-	cr.FieldsPerRecord = -1 // validate ourselves for better messages
-
-	var names []string
-	labelIdx := -1
-	line := 0
-
-	if opts.Header {
-		rec, err := cr.Read()
-		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
-		}
-		line++
-		names = rec
-		for i, n := range rec {
-			ln := strings.ToLower(strings.TrimSpace(n))
-			switch {
-			case opts.LabelColumn != "" && opts.LabelColumn != "-" && n == opts.LabelColumn:
-				labelIdx = i
-			case opts.LabelColumn == "" && (ln == "label" || ln == "outlier"):
-				labelIdx = i
-			}
-		}
-		if opts.LabelColumn != "" && opts.LabelColumn != "-" && labelIdx == -1 {
-			return nil, fmt.Errorf("dataset: label column %q not found in header", opts.LabelColumn)
-		}
-	}
-
 	var (
 		rows   [][]float64
 		labels []bool
-		width  = -1
 	)
 	for {
-		rec, err := cr.Read()
+		row, label, err := s.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
-		}
-		line++
-		if width == -1 {
-			width = len(rec)
-			if !opts.Header && opts.LabelColumn != "" && opts.LabelColumn != "-" {
-				return nil, errors.New("dataset: LabelColumn requires Header")
-			}
-		}
-		if len(rec) != width {
-			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), width)
-		}
-		row := make([]float64, 0, width)
-		for i, f := range rec {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d field %d: %q is not numeric", line, i+1, f)
-			}
-			if i == labelIdx {
-				labels = append(labels, v != 0)
-				continue
-			}
-			row = append(row, v)
+			return nil, err
 		}
 		rows = append(rows, row)
+		// A label column index beyond the actual record width never
+		// matches a field, so such files keep a nil Outlier slice.
+		if s.HasLabel() && s.labelIdx < s.width {
+			labels = append(labels, label)
+		}
 	}
 	if len(rows) == 0 {
 		return nil, errors.New("dataset: CSV contains no data rows")
 	}
-
-	var dataNames []string
-	if names != nil {
-		for i, n := range names {
-			if i != labelIdx {
-				dataNames = append(dataNames, n)
-			}
-		}
-	}
-	ds, err := FromRows(dataNames, rows)
+	ds, err := FromRows(s.names, rows)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,162 @@
+// Fuzz targets for the CSV parsers. /rank and /stream parse user-posted
+// data through these functions, so they must never panic and must uphold
+// their shape invariants on arbitrary bytes.
+package dataset
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// addSeedCorpus feeds the committed testdata CSVs plus a few tricky
+// inline cases to the fuzzer.
+func addSeedCorpus(f *testing.F) {
+	f.Helper()
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".csv" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		"",
+		"\n\n\n",
+		"1,2\n3\n",
+		"1,abc\n",
+		"x,y,label\n1,2,kaboom\n",
+		`"unclosed,1`,
+		"a,a,a\nNaN,Inf,-Inf\n",
+		"1.5;2,5\n",
+		"label\n1\n0\n",
+		"x,y\r\n1,2\r\n",
+		"\xff\xfe,1\n2,3\n",
+	} {
+		f.Add(s)
+	}
+}
+
+// checkLabeled asserts the invariants of a successful parse: a non-empty
+// rectangular matrix and a label slice that is nil or exactly N long.
+func checkLabeled(t *testing.T, l *Labeled) {
+	t.Helper()
+	if l == nil || l.Data == nil {
+		t.Fatal("nil result without error")
+	}
+	if l.Data.N() < 1 || l.Data.D() < 1 {
+		t.Fatalf("degenerate shape %dx%d accepted", l.Data.N(), l.Data.D())
+	}
+	if l.Outlier != nil && len(l.Outlier) != l.Data.N() {
+		t.Fatalf("%d labels for %d rows", len(l.Outlier), l.Data.N())
+	}
+	if len(l.Data.Names()) != l.Data.D() {
+		t.Fatalf("%d names for %d columns", len(l.Data.Names()), l.Data.D())
+	}
+}
+
+// FuzzReadCSV hammers the plain reader with and without a header row:
+// no input may panic, and every accepted input must produce a consistent
+// Dataset.
+func FuzzReadCSV(f *testing.F) {
+	addSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, header := range []bool{false, true} {
+			ds, err := ReadCSV(strings.NewReader(data), CSVOptions{Header: header})
+			if err != nil {
+				continue
+			}
+			if ds.N() < 1 || ds.D() < 1 {
+				t.Fatalf("header=%v: degenerate shape %dx%d accepted", header, ds.N(), ds.D())
+			}
+			// Every cell must be addressable without panicking.
+			for i := 0; i < ds.N(); i++ {
+				_ = ds.Row(i, nil)
+			}
+		}
+	})
+}
+
+// FuzzReadLabeledCSV exercises the label-splitting path and the
+// batch/stream equivalence: for any input the incremental CSVStream and
+// ReadLabeledCSV must accept the same inputs and produce identical rows
+// and labels.
+func FuzzReadLabeledCSV(f *testing.F) {
+	addSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, opts := range []CSVOptions{
+			{Header: true},
+			{Header: true, LabelColumn: "label"},
+			{Header: true, LabelColumn: "-"},
+			{Comma: ';'},
+		} {
+			batch, batchErr := ReadLabeledCSV(strings.NewReader(data), opts)
+			if batchErr == nil {
+				checkLabeled(t, batch)
+			}
+
+			s, err := NewCSVStream(strings.NewReader(data), opts)
+			if err != nil {
+				if batchErr == nil {
+					t.Fatalf("opts %+v: stream construction failed (%v) where batch succeeded", opts, err)
+				}
+				continue
+			}
+			var (
+				rows      [][]float64
+				labels    []bool
+				streamErr error
+			)
+			for {
+				row, label, err := s.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					streamErr = err
+					break
+				}
+				rows = append(rows, row)
+				labels = append(labels, label)
+			}
+			if (batchErr == nil) != (streamErr == nil && len(rows) > 0) {
+				// The batch reader additionally rejects zero-row inputs and
+				// shape mismatches via FromRows; only flag the divergence
+				// when the stream accepted strictly less.
+				if batchErr == nil {
+					t.Fatalf("opts %+v: batch accepted, stream failed: %v", opts, streamErr)
+				}
+				continue
+			}
+			if batchErr != nil {
+				continue
+			}
+			if len(rows) != batch.Data.N() {
+				t.Fatalf("opts %+v: stream %d rows, batch %d", opts, len(rows), batch.Data.N())
+			}
+			for i, row := range rows {
+				if len(row) != batch.Data.D() {
+					t.Fatalf("opts %+v: stream row %d width %d, batch D %d", opts, i, len(row), batch.Data.D())
+				}
+				for d, v := range row {
+					if v != batch.Data.Value(i, d) && !(v != v && batch.Data.Value(i, d) != batch.Data.Value(i, d)) {
+						t.Fatalf("opts %+v: cell (%d,%d) stream %v, batch %v", opts, i, d, v, batch.Data.Value(i, d))
+					}
+				}
+				if batch.Outlier != nil && labels[i] != batch.Outlier[i] {
+					t.Fatalf("opts %+v: label %d stream %v, batch %v", opts, i, labels[i], batch.Outlier[i])
+				}
+			}
+		}
+	})
+}

@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -127,6 +129,112 @@ func TestWriteCSVLabelMismatch(t *testing.T) {
 	ds := MustNew(nil, [][]float64{{1, 2}})
 	if err := WriteCSV(&bytes.Buffer{}, ds, []bool{true}); err == nil {
 		t.Error("label length mismatch should fail")
+	}
+}
+
+// drainStream pulls every row out of a CSVStream.
+func drainStream(t *testing.T, s *CSVStream) (rows [][]float64, labels []bool) {
+	t.Helper()
+	for {
+		row, label, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return rows, labels
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+		labels = append(labels, label)
+	}
+}
+
+// TestCSVStreamMatchesBatch: the incremental reader and ReadLabeledCSV
+// must agree on every input shape — they share the implementation, and
+// this pins that they keep doing so.
+func TestCSVStreamMatchesBatch(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts CSVOptions
+	}{
+		{"no header", "1,2\n3,4\n5,6\n", CSVOptions{}},
+		{"header", "x,y\n1,2\n3,4\n", CSVOptions{Header: true}},
+		{"auto label", "x,y,label\n1,2,0\n3,4,1\n", CSVOptions{Header: true}},
+		{"explicit label", "x,truth,y\n1,1,2\n3,0,4\n", CSVOptions{Header: true, LabelColumn: "truth"}},
+		{"label disabled", "x,label\n1,0\n2,1\n", CSVOptions{Header: true, LabelColumn: "-"}},
+		{"semicolons", "1;2\n3;4\n", CSVOptions{Comma: ';'}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch, err := ReadLabeledCSV(strings.NewReader(tc.in), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewCSVStream(strings.NewReader(tc.in), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, labels := drainStream(t, s)
+			if len(rows) != batch.Data.N() {
+				t.Fatalf("stream yielded %d rows, batch %d", len(rows), batch.Data.N())
+			}
+			for i, row := range rows {
+				if len(row) != batch.Data.D() {
+					t.Fatalf("stream row %d has %d values, batch D=%d", i, len(row), batch.Data.D())
+				}
+				for d, v := range row {
+					if v != batch.Data.Value(i, d) {
+						t.Errorf("value (%d,%d): stream %v, batch %v", i, d, v, batch.Data.Value(i, d))
+					}
+				}
+				if batch.Outlier != nil && labels[i] != batch.Outlier[i] {
+					t.Errorf("label %d: stream %v, batch %v", i, labels[i], batch.Outlier[i])
+				}
+			}
+			if s.HasLabel() != (batch.Outlier != nil) {
+				t.Errorf("HasLabel = %v, batch Outlier nil = %v", s.HasLabel(), batch.Outlier == nil)
+			}
+			if batch.Data.Name(0) != "attr0" { // header present: names must match too
+				names := s.Names()
+				for d := range names {
+					if names[d] != batch.Data.Name(d) {
+						t.Errorf("name %d: stream %q, batch %q", d, names[d], batch.Data.Name(d))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSVStreamErrors: mid-stream failures name the offending line, and
+// construction-time failures mirror the batch reader.
+func TestCSVStreamErrors(t *testing.T) {
+	s, err := NewCSVStream(strings.NewReader("1,2\n3\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Next(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("ragged row error = %v, want line 2 named", err)
+	}
+	s, err = NewCSVStream(strings.NewReader("1,abc\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Next(); err == nil || !strings.Contains(err.Error(), "field 2") {
+		t.Errorf("non-numeric error = %v, want field 2 named", err)
+	}
+	if _, err := NewCSVStream(strings.NewReader("1,2\n"), CSVOptions{LabelColumn: "x"}); err == nil {
+		t.Error("LabelColumn without Header should fail at construction")
+	}
+	if _, err := NewCSVStream(strings.NewReader("x,y\n1,2\n"), CSVOptions{Header: true, LabelColumn: "z"}); err == nil {
+		t.Error("missing label column should fail at construction")
+	}
+	// An empty input with a header is EOF at construction.
+	if _, err := NewCSVStream(strings.NewReader(""), CSVOptions{Header: true}); err == nil {
+		t.Error("empty headered input should fail at construction")
 	}
 }
 

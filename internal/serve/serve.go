@@ -5,34 +5,68 @@
 //
 // Endpoints:
 //
-//	GET  /healthz  liveness plus model shape (objects, attributes,
-//	               subspaces)
-//	GET  /info     the served model's method pair (searcher, scorer),
-//	               subspace count, and persistence format version
-//	POST /score    score one point ({"point": [...]}) or a batch
-//	               ({"points": [[...], ...]}) against the model
-//	POST /rank     run a full deadlined HiCS ranking on posted rows
-//	               ({"rows": [[...], ...], "options": {...}})
+//	GET  /healthz     liveness plus model shape (objects, attributes,
+//	                  subspaces)
+//	GET  /info        the served model's method pair (searcher, scorer),
+//	                  subspace count, persistence format version, and the
+//	                  server version string
+//	POST /score       score one point ({"point": [...]}) or a batch
+//	                  ({"points": [[...], ...]}) against the model
+//	POST /rank        run a full deadlined HiCS ranking on posted rows
+//	                  ({"rows": [[...], ...], "options": {...}})
+//	POST /stream      NDJSON streaming scoring: one JSON row per line in,
+//	                  one {"index","score","refits"} record per line out,
+//	                  flushed as each row is scored
+//	GET  /debug/vars  expvar counters (requests, errors, active streams,
+//	                  refits, last score latency) plus Go runtime stats
 //
 // Every compute endpoint runs under the request's context: a client
-// disconnect cancels the in-flight work, and Config.RequestTimeout adds a
-// server-side deadline — a request over budget gets 504 and its Monte
-// Carlo workers stop within one chunk of work.
+// disconnect cancels the in-flight work (including an open stream), and
+// Config.RequestTimeout adds a server-side deadline — a request over
+// budget gets 504 (or a terminal NDJSON error record once a stream has
+// started) and its Monte Carlo workers stop within one chunk of work.
+// The deadline is observed between rows; a stream idling inside a body
+// read is bounded by the server's read timeout instead (hicsd derives it
+// from the same budget).
 //
 // The model is immutable after load and Model.Score is safe for
-// concurrent use, so the handler needs no locking.
+// concurrent use, so the handler needs no locking; each /stream request
+// gets its own detector wrapped around the shared model.
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hics"
 )
+
+// Instrumentation counters, exposed on /debug/vars under the "hicsd"
+// map. They are process-global (expvar registration is once-only), so
+// multiple handlers share them; tests must assert on deltas.
+var (
+	mRequests      = new(expvar.Int)   // total HTTP requests
+	mErrors        = new(expvar.Int)   // error responses and stream error records
+	mActiveStreams = new(expvar.Int)   // currently open /stream sessions
+	mRefits        = new(expvar.Int)   // completed streaming model refits
+	mLastScoreLat  = new(expvar.Float) // wall time of the latest scoring call, ms
+)
+
+func init() {
+	m := expvar.NewMap("hicsd")
+	m.Set("requests", mRequests)
+	m.Set("errors", mErrors)
+	m.Set("active_streams", mActiveStreams)
+	m.Set("refits", mRefits)
+	m.Set("last_score_latency_ms", mLastScoreLat)
+}
 
 // Config wires the handler: the served model plus the per-request
 // execution policy.
@@ -43,10 +77,22 @@ type Config struct {
 	// /rank request; 0 imposes no deadline beyond the client's own
 	// patience (a disconnect still cancels the work).
 	RequestTimeout time.Duration
-	// RankWorkers caps the parallelism of /rank rankings (0 = one worker
-	// per CPU). Batch /score parallelism is bounded on the model itself
-	// via Model.SetWorkers.
+	// RankWorkers caps the parallelism of /rank rankings and /stream
+	// refits (0 = one worker per CPU). Batch /score parallelism is
+	// bounded on the model itself via Model.SetWorkers.
 	RankWorkers int
+	// StreamWindow is the default sliding-window size of /stream sessions
+	// (0 = the served model's training-set size). Clients may override
+	// per request with ?window=N.
+	StreamWindow int
+	// StreamRefitEvery is the default refit cadence of /stream sessions
+	// in arrivals (0 = never refit). Clients may override with
+	// ?refit_every=N.
+	StreamRefitEvery int
+	// StreamAsync makes /stream refits run in the background by default,
+	// so scoring keeps flowing during a refit. Clients may override with
+	// ?async=true|false.
+	StreamAsync bool
 }
 
 // ScoreRequest is the /score request body. Exactly one of Point and
@@ -158,14 +204,30 @@ type Info struct {
 	Objects       int    `json:"objects"`
 	Attributes    int    `json:"attributes"`
 	Version       string `json:"version"`
+	// Server is the full server version string ("hicsd/<version>").
+	Server string `json:"server"`
 }
+
+// StreamRecord is one /stream response line: the arrival index of the
+// scored row, its outlier score, and the number of model refits completed
+// when it was scored.
+type StreamRecord struct {
+	Index  int     `json:"index"`
+	Score  float64 `json:"score"`
+	Refits int     `json:"refits"`
+}
+
+// ServerVersion is the /info server identification string.
+const ServerVersion = "hicsd/" + hics.Version
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// maxRequestBytes bounds a /score or /rank body; a million-point batch is
-// a mistake, not a query.
+// maxRequestBytes bounds a /score, /rank or /stream body; a
+// million-point batch is a mistake, not a query. For /stream it caps the
+// cumulative session input — an exhausted stream ends with an explicit
+// error record naming this limit.
 const maxRequestBytes = 64 << 20
 
 // NewHandler returns the hicsd HTTP handler serving the given model with
@@ -202,6 +264,7 @@ func New(cfg Config) http.Handler {
 			Objects:       m.N(),
 			Attributes:    m.D(),
 			Version:       hics.Version,
+			Server:        ServerVersion,
 		})
 	})
 	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
@@ -221,20 +284,24 @@ func New(cfg Config) http.Handler {
 		case req.Point != nil && req.Points != nil:
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set exactly one of "point" and "points"`})
 		case req.Point != nil:
+			start := time.Now()
 			s, err := m.Score(req.Point)
 			if err != nil {
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 				return
 			}
+			mLastScoreLat.Set(float64(time.Since(start)) / float64(time.Millisecond))
 			writeJSON(w, http.StatusOK, pointResponse{Score: s})
 		case req.Points != nil:
 			ctx, cancel := cfg.requestContext(r)
 			defer cancel()
+			start := time.Now()
 			scores, err := m.ScoreBatchContext(ctx, req.Points)
 			if err != nil {
 				writeComputeError(w, err)
 				return
 			}
+			mLastScoreLat.Set(float64(time.Since(start)) / float64(time.Millisecond))
 			if scores == nil {
 				scores = []float64{}
 			}
@@ -273,7 +340,174 @@ func New(cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return mux
+	mux.HandleFunc("/stream", cfg.handleStream)
+	mux.Handle("/debug/vars", expvar.Handler())
+	// The request counter wraps the whole mux so every endpoint —
+	// including 404s — is counted.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// streamOptions resolves a /stream request's detector options: the
+// server-configured defaults overridden by the window / refit_every /
+// async query parameters.
+func (cfg Config) streamOptions(r *http.Request) (hics.StreamOptions, error) {
+	sopts := hics.StreamOptions{
+		Window:     cfg.StreamWindow,
+		RefitEvery: cfg.StreamRefitEvery,
+		Async:      cfg.StreamAsync,
+		Workers:    cfg.RankWorkers,
+	}
+	if sopts.Window == 0 {
+		sopts.Window = cfg.Model.N()
+	}
+	q := r.URL.Query()
+	if s := q.Get("window"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return sopts, fmt.Errorf("query parameter window: %q is not an integer", s)
+		}
+		sopts.Window = v
+	}
+	if s := q.Get("refit_every"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return sopts, fmt.Errorf("query parameter refit_every: %q is not an integer", s)
+		}
+		sopts.RefitEvery = v
+	}
+	if s := q.Get("async"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return sopts, fmt.Errorf("query parameter async: %q is not a boolean", s)
+		}
+		sopts.Async = v
+	}
+	return sopts, nil
+}
+
+// handleStream is POST /stream: NDJSON in (one JSON array of numbers per
+// line), NDJSON out (one StreamRecord per scored row, flushed per line).
+// The stream wraps the served model warm — rows score immediately — and
+// optionally refits over its sliding window per the resolved options.
+// The request context governs everything: a client disconnect or an
+// exceeded RequestTimeout cancels in-flight scoring and refits.
+func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	sopts, err := cfg.streamOptions(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	st, err := cfg.Model.NewStream(sopts)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	defer st.Close()
+	ctx, cancel := cfg.requestContext(r)
+	defer cancel()
+	mActiveStreams.Add(1)
+	defer mActiveStreams.Add(-1)
+
+	// From here on the response is a 200 NDJSON stream; later failures
+	// are terminal {"error": ...} records, not status codes. Scored
+	// records interleave with body reads, so the connection must be
+	// full-duplex — without this the server closes the request body on
+	// the first response write.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("streaming unsupported: %v", err)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	refitsSeen := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			writeStreamError(w, rc, err)
+			return
+		}
+		var row []float64
+		if err := dec.Decode(&row); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeStreamError(w, rc, fmt.Errorf("stream input exceeded the %d-byte session limit; reconnect to continue", tooLarge.Limit))
+				return
+			}
+			writeStreamError(w, rc, fmt.Errorf("invalid row: %v (want one JSON array of %d numbers per line)", err, cfg.Model.D()))
+			return
+		}
+		start := time.Now()
+		results, err := st.Push(ctx, row)
+		if err != nil {
+			writeStreamError(w, rc, err)
+			return
+		}
+		mLastScoreLat.Set(float64(time.Since(start)) / float64(time.Millisecond))
+		if n := st.Refits(); n > refitsSeen {
+			mRefits.Add(int64(n - refitsSeen))
+			refitsSeen = n
+		}
+		for _, res := range results {
+			if !writeStreamRecord(w, StreamRecord{Index: res.Index, Score: res.Score, Refits: res.Refits}) {
+				return
+			}
+		}
+		if len(results) > 0 {
+			_ = rc.Flush()
+		}
+	}
+	// Input exhausted: wait out any background refit so its failure (or
+	// completion) is reflected before the stream closes.
+	if err := st.Drain(ctx); err != nil {
+		writeStreamError(w, rc, err)
+		return
+	}
+	if n := st.Refits(); n > refitsSeen {
+		mRefits.Add(int64(n - refitsSeen))
+	}
+}
+
+// writeStreamRecord emits one NDJSON record; a non-representable score
+// (LOF can be +Inf on degenerate windows) becomes an error record.
+// Returns false when the stream should stop.
+func writeStreamRecord(w io.Writer, rec StreamRecord) bool {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		data, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("row %d: score not representable in JSON: %v", rec.Index, err)})
+		mErrors.Add(1)
+		_, _ = w.Write(append(data, '\n'))
+		return false
+	}
+	_, werr := w.Write(append(data, '\n'))
+	return werr == nil
+}
+
+// writeStreamError terminates an NDJSON stream with an {"error": ...}
+// record. A client disconnect gets nothing — nobody is listening.
+func writeStreamError(w io.Writer, rc *http.ResponseController, err error) {
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	mErrors.Add(1)
+	msg := err.Error()
+	if errors.Is(err, context.DeadlineExceeded) {
+		msg = "stream exceeded the server's compute budget"
+	}
+	data, _ := json.Marshal(errorResponse{Error: msg})
+	_, _ = w.Write(append(data, '\n'))
+	_ = rc.Flush()
 }
 
 // requestContext derives a compute context for one request: the client's
@@ -308,6 +542,9 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 		// 200 body.
 		status = http.StatusUnprocessableEntity
 		data, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("response not representable in JSON: %v", err)})
+	}
+	if status >= 400 {
+		mErrors.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

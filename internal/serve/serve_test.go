@@ -72,6 +72,7 @@ func TestInfo(t *testing.T) {
 		Objects:       m.N(),
 		Attributes:    m.D(),
 		Version:       hics.Version,
+		Server:        ServerVersion,
 	}
 	if info != want {
 		t.Errorf("info = %+v, want %+v", info, want)

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hics/internal/rng"
+)
+
+// ndjsonRows encodes rows as one JSON array per line.
+func ndjsonRows(t *testing.T, rows [][]float64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// postStream posts an NDJSON body to /stream and returns the status and
+// the decoded response lines (records and raw lines).
+func postStream(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []StreamRecord, []string) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var (
+		records []StreamRecord
+		lines   []string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		lines = append(lines, line)
+		var rec StreamRecord
+		if err := json.Unmarshal([]byte(line), &rec); err == nil && !strings.Contains(line, `"error"`) {
+			records = append(records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, records, lines
+}
+
+// TestStreamEndpointMatchesScoreBatch: with the default options (window =
+// training size, never refit) the streamed scores are exactly
+// Model.ScoreBatch of the posted rows, one record per line in order.
+func TestStreamEndpointMatchesScoreBatch(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Minute}))
+	defer srv.Close()
+
+	r := rng.New(7)
+	rows := make([][]float64, 25)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	resp, records, lines := postStream(t, srv, "/stream", ndjsonRows(t, rows))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, lines)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(records) != len(rows) {
+		t.Fatalf("streamed %d records for %d rows: %v", len(records), len(rows), lines)
+	}
+	want, err := m.ScoreBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range records {
+		if rec.Index != i || rec.Refits != 0 {
+			t.Errorf("record %d = %+v, want index %d refits 0", i, rec, i)
+		}
+		if rec.Score != want[i] {
+			t.Errorf("streamed score %d = %v, ScoreBatch %v", i, rec.Score, want[i])
+		}
+	}
+}
+
+// TestStreamEndpointRefits: a small window plus a refit cadence makes the
+// detector swap models mid-stream, visible in the refits field.
+func TestStreamEndpointRefits(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Minute}))
+	defer srv.Close()
+
+	r := rng.New(8)
+	rows := make([][]float64, 60)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	resp, records, lines := postStream(t, srv, "/stream?window=40&refit_every=20", ndjsonRows(t, rows))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, lines)
+	}
+	if len(records) != len(rows) {
+		t.Fatalf("streamed %d records for %d rows: %v", len(records), len(rows), lines)
+	}
+	if last := records[len(records)-1]; last.Refits == 0 {
+		t.Errorf("stream never refitted: %+v", last)
+	}
+}
+
+// TestStreamEndpointErrors: option and row validation surface as a 400
+// (before streaming) or a terminal error record (mid-stream).
+func TestStreamEndpointErrors(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m}))
+	defer srv.Close()
+
+	// GET is rejected.
+	resp, err := http.Get(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /stream status %d, want 405", resp.StatusCode)
+	}
+
+	// Bad query parameters and invalid options are 400s.
+	for _, path := range []string{
+		"/stream?window=abc",
+		"/stream?refit_every=x",
+		"/stream?async=maybe",
+		"/stream?window=5",           // <= MinPts
+		"/stream?refit_every=-1",     // negative cadence
+		"/stream?async=true",         // async without refits
+		"/stream?window=-20&async=0", // negative window
+	} {
+		resp, _, lines := postStream(t, srv, path, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v), want 400", path, resp.StatusCode, lines)
+		}
+	}
+
+	// A malformed row mid-stream: the rows before it are scored, then a
+	// terminal error record ends the stream.
+	body := "[0.5,0.5,0.5,0.5]\nnot json\n[0.5,0.5,0.5,0.5]\n"
+	resp2, records, lines := postStream(t, srv, "/stream", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("mid-stream error status %d", resp2.StatusCode)
+	}
+	if len(records) != 1 {
+		t.Errorf("scored %d rows before the bad one, want 1: %v", len(records), lines)
+	}
+	if len(lines) != 2 || !strings.Contains(lines[len(lines)-1], `"error"`) {
+		t.Errorf("stream lines = %v, want one record then one error", lines)
+	}
+
+	// A wrong-width row is a terminal error record naming the problem.
+	_, records, lines = postStream(t, srv, "/stream", "[0.5,0.5]\n")
+	if len(records) != 0 || len(lines) != 1 || !strings.Contains(lines[0], `"error"`) {
+		t.Errorf("short row: records %v lines %v, want a single error record", records, lines)
+	}
+
+	// Non-finite input cannot even be encoded as JSON; the decode failure
+	// is a terminal error record, not a silent NaN score.
+	_, records, lines = postStream(t, srv, "/stream", "[1e999,0.5,0.5,0.5]\n")
+	if len(records) != 0 || len(lines) == 0 || !strings.Contains(lines[0], `"error"`) {
+		t.Errorf("1e999 row: records %v lines %v, want a single error record", records, lines)
+	}
+}
+
+// TestStreamEndpointFlushesPerRow verifies the NDJSON contract end to
+// end: records arrive incrementally while the request body is still
+// open, so a live feed sees each score as soon as it is computed.
+func TestStreamEndpointFlushesPerRow(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m}))
+	defer srv.Close()
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- resp
+	}()
+
+	if _, err := io.WriteString(pw, "[0.5,0.5,0.5,0.5]\n"); err != nil {
+		t.Fatal(err)
+	}
+	var resp *http.Response
+	select {
+	case resp = <-respc:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no response while the body is open: records are not flushed per row")
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	linec := make(chan string, 4)
+	go func() {
+		for sc.Scan() {
+			linec <- sc.Text()
+		}
+		close(linec)
+	}()
+	readLine := func() string {
+		select {
+		case l := <-linec:
+			return l
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for a streamed record")
+			return ""
+		}
+	}
+	var first StreamRecord
+	if err := json.Unmarshal([]byte(readLine()), &first); err != nil || first.Index != 0 {
+		t.Fatalf("first streamed line: %v (err %v)", first, err)
+	}
+	// Second row only becomes available after the first record arrived —
+	// proving the flush, not buffering, delivered it.
+	if _, err := io.WriteString(pw, "[0.1,0.9,0.5,0.5]\n"); err != nil {
+		t.Fatal(err)
+	}
+	var second StreamRecord
+	if err := json.Unmarshal([]byte(readLine()), &second); err != nil || second.Index != 1 {
+		t.Fatalf("second streamed line: %v (err %v)", second, err)
+	}
+	pw.Close()
+	if _, ok := <-linec; ok {
+		t.Error("unexpected extra line after EOF")
+	}
+}
+
+// TestStreamEndpointClientDisconnect: cancelling the request mid-stream
+// tears the session down — the active-streams gauge returns to its
+// baseline instead of leaking a detector.
+func TestStreamEndpointClientDisconnect(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m}))
+	defer srv.Close()
+
+	baseline := mActiveStreams.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- resp
+	}()
+	if _, err := io.WriteString(pw, "[0.5,0.5,0.5,0.5]\n"); err != nil {
+		t.Fatal(err)
+	}
+	// The first streamed record proves the session is open and mid-body.
+	var resp *http.Response
+	select {
+	case resp = <-respc:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream session never opened")
+	}
+	line := make([]byte, 256)
+	if _, err := resp.Body.Read(line); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the client mid-stream: the handler's request context fires and
+	// the session tears down, returning the gauge to its baseline.
+	cancel()
+	pw.CloseWithError(context.Canceled)
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for mActiveStreams.Value() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := mActiveStreams.Value(); n > baseline {
+		t.Errorf("active_streams = %d after disconnect, want %d", n, baseline)
+	}
+}
+
+// TestMetricsCounters: the expvar instrumentation moves with traffic and
+// /debug/vars serves it.
+func TestMetricsCounters(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Minute}))
+	defer srv.Close()
+
+	requests0 := mRequests.Value()
+	errors0 := mErrors.Value()
+	refits0 := mRefits.Value()
+
+	// One good score, one bad request, one refitting stream.
+	resp, _, _ := postScore(t, srv, `{"point": [0.5, 0.5, 0.5, 0.5]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status %d", resp.StatusCode)
+	}
+	resp, _, _ = postScore(t, srv, `{`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad score status %d", resp.StatusCode)
+	}
+	r := rng.New(9)
+	rows := make([][]float64, 45)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	streamResp, records, _ := postStream(t, srv, "/stream?window=30&refit_every=15", ndjsonRows(t, rows))
+	if streamResp.StatusCode != http.StatusOK || len(records) != len(rows) {
+		t.Fatalf("stream status %d, %d records", streamResp.StatusCode, len(records))
+	}
+
+	if d := mRequests.Value() - requests0; d < 3 {
+		t.Errorf("requests moved by %d, want >= 3", d)
+	}
+	if d := mErrors.Value() - errors0; d < 1 {
+		t.Errorf("errors moved by %d, want >= 1", d)
+	}
+	if d := mRefits.Value() - refits0; d < 1 {
+		t.Errorf("refits moved by %d, want >= 1", d)
+	}
+	if mLastScoreLat.Value() < 0 {
+		t.Errorf("last_score_latency_ms = %v", mLastScoreLat.Value())
+	}
+
+	// /debug/vars serves the counters as JSON under the hicsd map.
+	dv, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dv.Body.Close()
+	if dv.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", dv.StatusCode)
+	}
+	var vars struct {
+		Hicsd map[string]json.RawMessage `json:"hicsd"`
+	}
+	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"requests", "errors", "active_streams", "refits", "last_score_latency_ms"} {
+		if _, ok := vars.Hicsd[key]; !ok {
+			t.Errorf("/debug/vars hicsd map missing %q", key)
+		}
+	}
+}
+
+// TestScoreRejectsNonFinite: the JSON boundary cannot carry NaN/Inf, so
+// the handlers reject such payloads as 400s instead of scoring them —
+// the regression contract for the /score and /rank entry points.
+func TestScoreRejectsNonFinite(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m}))
+	defer srv.Close()
+	for _, body := range []string{
+		`{"point": [1e999, 0.5, 0.5, 0.5]}`,
+		`{"points": [[0.5, 0.5, 0.5, -1e999]]}`,
+	} {
+		resp, _, got := postScore(t, srv, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d (%s), want 400", body, resp.StatusCode, got)
+		}
+	}
+	resp, got := postRank(t, srv, []byte(`{"rows": [[1e999, 2], [3, 4]]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/rank with 1e999: status %d (%s), want 400", resp.StatusCode, got)
+	}
+}
+
+// TestStreamEndpointDefaultsFromConfig: the server-side stream defaults
+// apply when the client passes no query parameters.
+func TestStreamEndpointDefaultsFromConfig(t *testing.T) {
+	m := fitModel(t)
+	srv := httptest.NewServer(New(Config{Model: m, StreamWindow: 30, StreamRefitEvery: 15}))
+	defer srv.Close()
+	r := rng.New(10)
+	rows := make([][]float64, 45)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	resp, records, lines := postStream(t, srv, "/stream", ndjsonRows(t, rows))
+	if resp.StatusCode != http.StatusOK || len(records) != len(rows) {
+		t.Fatalf("status %d, %d records (%v)", resp.StatusCode, len(records), lines)
+	}
+	if last := records[len(records)-1]; last.Refits == 0 {
+		t.Errorf("configured refit cadence never fired: %+v", last)
+	}
+	// An invalid configured default still fails fast per request.
+	bad := httptest.NewServer(New(Config{Model: m, StreamWindow: 5}))
+	defer bad.Close()
+	resp2, _, _ := postStream(t, bad, "/stream", "")
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad default window: status %d, want 400", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,394 @@
+// Package stream implements the sliding-window online outlier detector
+// behind hics.NewStream, the hicsd /stream endpoint and `hics -stream`:
+// every arriving row is scored against the current frozen model, the last
+// Window rows are retained in a ring buffer, and every RefitEvery
+// arrivals the model is refitted over the window and swapped atomically.
+//
+// The package is deliberately model-agnostic: it scores through the Model
+// interface and refits through a RefitFunc, so the detector logic is unit
+// testable without running the Monte Carlo pipeline, and the hics root
+// package can wire it to hics.Model/hics.FitContext without an import
+// cycle.
+//
+// Two refit modes:
+//
+//   - synchronous (Config.Async = false): the refit runs inline on the
+//     pushing goroutine, so the model a row is scored against is a pure
+//     function of the input order — for a deterministic RefitFunc the
+//     whole score sequence is bit-for-bit reproducible.
+//   - asynchronous (Config.Async = true): the refit runs on a background
+//     goroutine while scoring continues against the previous model;
+//     throughput never stalls on a refit, at the price of a
+//     scheduling-dependent swap point. Drain waits for an in-flight
+//     refit, restoring the synchronous sequence when called after every
+//     push.
+//
+// Push is single-producer: a stream is an ordered sequence, so calls must
+// not be concurrent (the async refit goroutine is coordinated
+// internally). Close aborts any in-flight refit and must only be called
+// once pushing has stopped.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Model is the frozen scoring state a detector scores arrivals against.
+// *hics.Model satisfies it; tests substitute fakes.
+type Model interface {
+	// ScoreBatchContext scores the rows out of sample against the frozen
+	// state; it must be safe for concurrent use with itself.
+	ScoreBatchContext(ctx context.Context, rows [][]float64) ([]float64, error)
+}
+
+// RefitFunc fits a replacement model on a window snapshot, oldest row
+// first. The slice and its rows are only valid for the duration of the
+// call and must not be retained. A deterministic RefitFunc makes a
+// synchronous-refit detector bit-for-bit reproducible.
+type RefitFunc func(ctx context.Context, window [][]float64) (Model, error)
+
+// Config wires a Detector.
+type Config struct {
+	// Model is the initial frozen model. Nil starts the detector cold:
+	// arrivals are buffered unscored until the window fills, then Refit
+	// fits the first model and the buffered rows are scored in one flush.
+	Model Model
+	// Refit fits a replacement model over the current window. Required
+	// when Model is nil (the initial fit) or RefitEvery > 0.
+	Refit RefitFunc
+	// Window is the ring-buffer capacity: the number of most recent rows
+	// a refit sees. Must be positive.
+	Window int
+	// RefitEvery is the refit cadence in arrivals; 0 never refits after
+	// the initial model.
+	RefitEvery int
+	// Async moves refits onto a background goroutine; scoring continues
+	// against the previous model until the swap. Requires RefitEvery > 0.
+	Async bool
+	// Dims fixes the expected row width; 0 infers it from the first
+	// arrival.
+	Dims int
+}
+
+// Result is one scored arrival.
+type Result struct {
+	// Index is the zero-based arrival number of the row.
+	Index int
+	// Score is the outlier score against the model current at scoring
+	// time; higher means more outlying.
+	Score float64
+	// Refits is the number of completed model replacements at scoring
+	// time (the initial cold fit does not count).
+	Refits int
+}
+
+// Detector is the sliding-window online outlier detector. Construct with
+// New; Push rows from one goroutine; Close when done.
+type Detector struct {
+	window     int
+	refitEvery int
+	async      bool
+	dims       int
+	refit      RefitFunc
+
+	model  atomic.Pointer[Model]
+	refits atomic.Int64 // completed model replacements
+
+	// Single-pusher state: owned by the Push goroutine.
+	count    int         // total arrivals
+	sinceFit int         // arrivals since the last refit trigger
+	buf      [][]float64 // ring buffer, grows to window then wraps
+	next     int         // slot the next row overwrites once full
+
+	mu       sync.Mutex
+	inflight bool          // an async refit is running
+	done     chan struct{} // closed when the in-flight refit finishes
+	err      error         // sticky async refit failure
+	closed   bool
+
+	baseCtx context.Context // lifecycle context of async refits
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New validates the configuration and constructs a Detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("stream: Window must be positive, got %d", cfg.Window)
+	}
+	if cfg.RefitEvery < 0 {
+		return nil, fmt.Errorf("stream: RefitEvery must be non-negative, got %d (0 never refits)", cfg.RefitEvery)
+	}
+	if cfg.Async && cfg.RefitEvery == 0 {
+		return nil, errors.New("stream: Async requires RefitEvery > 0")
+	}
+	if cfg.Refit == nil && cfg.Model == nil {
+		return nil, errors.New("stream: a cold detector (no initial Model) needs a Refit function")
+	}
+	if cfg.Refit == nil && cfg.RefitEvery > 0 {
+		return nil, errors.New("stream: RefitEvery > 0 needs a Refit function")
+	}
+	if cfg.Dims < 0 {
+		return nil, fmt.Errorf("stream: Dims must be non-negative, got %d (0 infers the width from the first row)", cfg.Dims)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Detector{
+		window:     cfg.Window,
+		refitEvery: cfg.RefitEvery,
+		async:      cfg.Async,
+		dims:       cfg.Dims,
+		refit:      cfg.Refit,
+		buf:        make([][]float64, 0, cfg.Window),
+		baseCtx:    ctx,
+		cancel:     cancel,
+	}
+	if cfg.Model != nil {
+		m := cfg.Model
+		d.model.Store(&m)
+	}
+	return d, nil
+}
+
+// Push feeds one arriving row. The row is validated (width and
+// finiteness, errors naming the arrival and attribute), scored against
+// the current model, appended to the window, and — every RefitEvery
+// arrivals on a full window — the model is refitted.
+//
+// The returned slice holds zero results (cold detector still warming
+// up), one result (the common case), or a whole window of results (the
+// flush after a cold detector's initial fit). The row slice is copied;
+// callers may reuse it.
+//
+// On error the arrival is still consumed (it counts and stays in the
+// window), so a stream can recover from a deadlined refit by pushing on
+// with a fresh context. Push must not be called concurrently.
+func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
+	d.mu.Lock()
+	closed, sticky := d.closed, d.err
+	d.mu.Unlock()
+	if closed {
+		return nil, errors.New("stream: detector is closed")
+	}
+	if sticky != nil {
+		return nil, sticky
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	idx := d.count
+	if len(row) == 0 {
+		return nil, fmt.Errorf("stream: row %d is empty", idx)
+	}
+	if d.dims == 0 {
+		d.dims = len(row)
+	}
+	if len(row) != d.dims {
+		return nil, fmt.Errorf("stream: row %d has %d attributes, want %d", idx, len(row), d.dims)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("stream: row %d attribute %d is %v, want a finite value", idx, j, v)
+		}
+	}
+	d.count++
+
+	cur := d.model.Load()
+	if cur == nil {
+		// Cold: buffer until the window fills, then fit the first model
+		// and flush the whole window's scores (bit-identical to the
+		// model's training scores — the rows are its training set). The
+		// model is only installed once the flush has been scored, so a
+		// fit or scoring failure (e.g. a deadline) leaves the detector
+		// cold and the next push retries the whole warmup — no arrival
+		// can lose its promised result.
+		d.append(row)
+		if len(d.buf) < d.window {
+			return nil, nil
+		}
+		win := d.chrono(false)
+		m, err := d.refit(ctx, win)
+		if err != nil {
+			return nil, err
+		}
+		scores, err := m.ScoreBatchContext(ctx, win)
+		if err != nil {
+			return nil, err
+		}
+		d.model.Store(&m)
+		d.sinceFit = 0
+		refits := int(d.refits.Load())
+		first := d.count - len(scores)
+		out := make([]Result, len(scores))
+		for i, s := range scores {
+			out[i] = Result{Index: first + i, Score: s, Refits: refits}
+		}
+		return out, nil
+	}
+
+	// The row joins the window before scoring: scoring reads only the
+	// frozen model, so the order does not affect the score, and it keeps
+	// the documented contract that an arrival consumed by a failing push
+	// stays in the window.
+	d.append(row)
+	scores, err := (*cur).ScoreBatchContext(ctx, [][]float64{row})
+	if err != nil {
+		return nil, err
+	}
+	out := []Result{{Index: idx, Score: scores[0], Refits: int(d.refits.Load())}}
+	d.sinceFit++
+	if d.refitEvery > 0 && d.sinceFit >= d.refitEvery && len(d.buf) == d.window {
+		// Triggers on a part-filled window are deferred (sinceFit keeps
+		// accumulating) until enough rows exist to refit on.
+		d.sinceFit = 0
+		if d.async {
+			d.tryAsyncRefit()
+		} else if err := d.syncRefit(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// append copies row into the ring buffer, overwriting the oldest row once
+// the window is full (the overwritten slot's backing array is reused).
+func (d *Detector) append(row []float64) {
+	if len(d.buf) < d.window {
+		d.buf = append(d.buf, append([]float64(nil), row...))
+		return
+	}
+	copy(d.buf[d.next], row)
+	d.next = (d.next + 1) % d.window
+}
+
+// chrono assembles the window in arrival order, oldest first. With
+// copyRows the rows are deep-copied (required when the snapshot outlives
+// the call, i.e. for async refits — the ring slots get overwritten).
+func (d *Detector) chrono(copyRows bool) [][]float64 {
+	out := make([][]float64, 0, len(d.buf))
+	if len(d.buf) < d.window {
+		out = append(out, d.buf...)
+	} else {
+		out = append(out, d.buf[d.next:]...)
+		out = append(out, d.buf[:d.next]...)
+	}
+	if copyRows {
+		for i, r := range out {
+			out[i] = append([]float64(nil), r...)
+		}
+	}
+	return out
+}
+
+// syncRefit refits inline and swaps the model; the pushing goroutine
+// carries the cost, keeping the score sequence deterministic.
+func (d *Detector) syncRefit(ctx context.Context) error {
+	m, err := d.refit(ctx, d.chrono(false))
+	if err != nil {
+		return err
+	}
+	d.model.Store(&m)
+	d.refits.Add(1)
+	return nil
+}
+
+// tryAsyncRefit launches a background refit over a window snapshot,
+// unless one is already running (triggers coalesce: the next chance is
+// RefitEvery arrivals later).
+func (d *Detector) tryAsyncRefit() {
+	d.mu.Lock()
+	if d.inflight || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.inflight = true
+	done := make(chan struct{})
+	d.done = done
+	d.mu.Unlock()
+
+	snap := d.chrono(true)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		m, err := d.refit(d.baseCtx, snap)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		defer close(done)
+		d.inflight = false
+		if err != nil {
+			// A refit aborted by Close is the expected shutdown path, not
+			// a stream failure; any other error poisons the stream and
+			// surfaces on the next Push (or Drain/Close).
+			if d.baseCtx.Err() == nil && d.err == nil {
+				d.err = err
+			}
+			return
+		}
+		d.model.Store(&m)
+		d.refits.Add(1)
+	}()
+}
+
+// Drain waits until no refit is in flight (a no-op for synchronous
+// detectors) and reports any sticky refit failure. After a Drain the next
+// Push scores against the newest model, so an async stream drained after
+// every push reproduces the synchronous score sequence exactly.
+func (d *Detector) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	done, inflight, sticky := d.done, d.inflight, d.err
+	d.mu.Unlock()
+	if sticky != nil {
+		return sticky
+	}
+	if !inflight {
+		return nil
+	}
+	select {
+	case <-done:
+		d.mu.Lock()
+		sticky = d.err
+		d.mu.Unlock()
+		return sticky
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close aborts any in-flight refit, waits for the background goroutine to
+// exit, and reports any sticky refit failure. Idempotent; must not be
+// called concurrently with Push.
+func (d *Detector) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		sticky := d.err
+		d.mu.Unlock()
+		return sticky
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.cancel()
+	d.wg.Wait()
+	d.mu.Lock()
+	sticky := d.err
+	d.mu.Unlock()
+	return sticky
+}
+
+// Refits returns the number of completed model replacements (the initial
+// cold fit does not count). Safe to call concurrently with an async
+// refit.
+func (d *Detector) Refits() int { return int(d.refits.Load()) }
+
+// Seen returns the number of rows pushed so far.
+func (d *Detector) Seen() int { return d.count }
+
+// Warm reports whether the detector holds a model yet (false only for a
+// cold detector still filling its first window).
+func (d *Detector) Warm() bool { return d.model.Load() != nil }
+
+// WindowLen returns the number of rows currently retained.
+func (d *Detector) WindowLen() int { return len(d.buf) }

@@ -152,6 +152,10 @@ func (m *Model) ScorerMethod() string { return m.scorer }
 // loaded from; freshly fitted models report the current format.
 func (m *Model) FormatVersion() int { return int(m.version) }
 
+// MinPts returns the effective neighborhood size of the fitted scorer —
+// the lower bound a streaming window must exceed (StreamOptions.Window).
+func (m *Model) MinPts() int { return m.minPts }
+
 // Subspaces returns the high-contrast projections the model scores in,
 // in descending contrast order.
 func (m *Model) Subspaces() []Subspace {
@@ -182,8 +186,9 @@ func (m *Model) Score(point []float64) (float64, error) {
 		return 0, fmt.Errorf("hics: point has %d attributes, model expects %d", len(point), m.fp.D)
 	}
 	// The training-row lookup runs first so that training rows reproduce
-	// their batch scores whatever their values — Fit accepts non-finite
-	// training data just like Rank does.
+	// their batch scores whatever their values — models loaded from files
+	// written before the boundary rejected non-finite training data may
+	// still carry such rows.
 	if i, ok := m.trainIndex(point); ok {
 		return m.trainScores[i], nil
 	}
@@ -235,6 +240,18 @@ func (m *Model) ScoreBatchContext(ctx context.Context, rows [][]float64) ([]floa
 	for i, row := range rows {
 		if len(row) != m.fp.D {
 			return nil, fmt.Errorf("hics: row %d has %d attributes, model expects %d", i, len(row), m.fp.D)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// Rows bit-identical to a training row keep Score's
+				// leave-one-out semantics (legacy models may carry
+				// non-finite training rows); everything else is rejected
+				// up front with the row named, before any scoring work.
+				if _, ok := m.trainIndex(row); ok {
+					break
+				}
+				return nil, fmt.Errorf("hics: row %d attribute %d is %v, want a finite value", i, j, v)
+			}
 		}
 	}
 	out := make([]float64, len(rows))

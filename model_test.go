@@ -278,26 +278,51 @@ func TestModelErrors(t *testing.T) {
 	}
 }
 
-// TestModelScoreInfTrainingRow: Fit accepts non-finite training data just
-// like Rank, and the training-row reproduction guarantee must hold for it
-// — only out-of-sample non-finite queries are rejected.
-func TestModelScoreInfTrainingRow(t *testing.T) {
-	rows := demoRows(29, 120, 3)
-	rows[5][2] = math.Inf(1)
-	res, err := Rank(rows, Options{M: 10, Seed: 29})
-	if err != nil {
-		t.Fatal(err)
+// TestNonFiniteInputRejected: every data-accepting entry point rejects
+// NaN/±Inf input at the API boundary with the offending row and column
+// named, instead of silently producing meaningless scores.
+func TestNonFiniteInputRejected(t *testing.T) {
+	entry := map[string]func(rows [][]float64) error{
+		"Rank": func(rows [][]float64) error { _, err := Rank(rows, Options{M: 10, Seed: 29}); return err },
+		"Fit":  func(rows [][]float64) error { _, err := Fit(rows, Options{M: 10, Seed: 29}); return err },
+		"SearchSubspaces": func(rows [][]float64) error {
+			_, err := SearchSubspaces(rows, Options{M: 10, Seed: 29})
+			return err
+		},
+		"LOFScores": func(rows [][]float64) error { _, err := LOFScores(rows, 5); return err },
 	}
+	for name, fn := range entry {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			rows := demoRows(29, 120, 3)
+			rows[5][2] = bad
+			err := fn(rows)
+			if err == nil {
+				t.Errorf("%s accepted %v input", name, bad)
+				continue
+			}
+			if !strings.Contains(err.Error(), "row 5") || !strings.Contains(err.Error(), "column 2") {
+				t.Errorf("%s(%v) error %q does not name row 5 column 2", name, bad, err)
+			}
+		}
+	}
+	// ScoreBatch names the offending row too.
+	rows := demoRows(29, 120, 3)
 	m, err := Fit(rows, Options{M: 10, Seed: 29})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Score(rows[5])
-	if err != nil {
-		t.Fatalf("scoring the Inf-bearing training row failed: %v", err)
+	_, err = m.ScoreBatch([][]float64{{0.5, 0.5, 0.5}, {0.5, math.Inf(-1), 0.5}})
+	if err == nil || !strings.Contains(err.Error(), "row 1") || !strings.Contains(err.Error(), "attribute 1") {
+		t.Errorf("ScoreBatch error %v does not name row 1 attribute 1", err)
 	}
-	if s != res.Scores[5] {
-		t.Errorf("Score(Inf training row) = %v, Rank = %v", s, res.Scores[5])
+	// A batch row bit-identical to a training row keeps its leave-one-out
+	// score even while the boundary check is active.
+	got, err := m.ScoreBatch([][]float64{rows[7]})
+	if err != nil {
+		t.Fatalf("training row in batch rejected: %v", err)
+	}
+	if got[0] != m.TrainingScores()[7] {
+		t.Errorf("training-row batch score %v, want %v", got[0], m.TrainingScores()[7])
 	}
 }
 

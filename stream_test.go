@@ -1,0 +1,360 @@
+package hics
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pushAll feeds rows into a stream and returns the flattened score
+// sequence in emission order.
+func pushAll(t *testing.T, s *Stream, rows [][]float64, drainEach bool) []StreamResult {
+	t.Helper()
+	var out []StreamResult
+	for i, r := range rows {
+		res, err := s.Push(context.Background(), r)
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		out = append(out, res...)
+		if drainEach {
+			if err := s.Drain(context.Background()); err != nil {
+				t.Fatalf("drain after push %d: %v", i, err)
+			}
+		}
+	}
+	return out
+}
+
+// TestStreamNeverRefitMatchesScoreBatch pins the acceptance guarantee:
+// a warm stream with RefitEvery=0 scores exactly like Model.ScoreBatch
+// on the same rows.
+func TestStreamNeverRefitMatchesScoreBatch(t *testing.T) {
+	train := demoRows(31, 150, 3)
+	live := demoRows(32, 60, 3)
+	m, err := Fit(train, Options{M: 10, Seed: 31, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.ScoreBatch(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewStream(StreamOptions{Window: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := pushAll(t, s, live, false)
+	if len(got) != len(live) {
+		t.Fatalf("stream emitted %d results for %d rows", len(got), len(live))
+	}
+	for i, r := range got {
+		if r.Index != i || r.Refits != 0 {
+			t.Fatalf("result %d = %+v, want index %d refits 0", i, r, i)
+		}
+		if r.Score != want[i] {
+			t.Errorf("stream score %d = %v, ScoreBatch %v", i, r.Score, want[i])
+		}
+	}
+}
+
+// TestStreamColdWarmupMatchesTrainingScores: the warmup flush of a cold
+// stream is bit-identical to the training scores of a Fit on the same
+// window, and later rows score out of sample against it.
+func TestStreamColdWarmupMatchesTrainingScores(t *testing.T) {
+	rows := demoRows(33, 80, 3)
+	const window = 50
+	s, err := NewStream(Options{M: 10, Seed: 33, TopK: 5}, StreamOptions{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := pushAll(t, s, rows, false)
+	if len(got) != len(rows) {
+		t.Fatalf("stream emitted %d results for %d rows", len(got), len(rows))
+	}
+	m, err := Fit(rows[:window], Options{M: 10, Seed: 33, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := m.TrainingScores()
+	for i := 0; i < window; i++ {
+		if got[i].Score != train[i] {
+			t.Errorf("warmup score %d = %v, training score %v", i, got[i].Score, train[i])
+		}
+	}
+	rest, err := m.ScoreBatch(rows[window:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range rest {
+		if got[window+i].Score != want {
+			t.Errorf("post-warmup score %d = %v, ScoreBatch %v", window+i, got[window+i].Score, want)
+		}
+	}
+}
+
+// TestStreamSyncDeterminism pins the tentpole determinism guarantee: a
+// synchronous-refit stream over a fixed input produces bit-identical
+// scores across runs and across Workers settings.
+func TestStreamSyncDeterminism(t *testing.T) {
+	rows := demoRows(34, 120, 3)
+	run := func(workers int) []StreamResult {
+		s, err := NewStream(Options{M: 10, Seed: 34, TopK: 5, MinPts: 5},
+			StreamOptions{Window: 40, RefitEvery: 25, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		return pushAll(t, s, rows, false)
+	}
+	base := run(0)
+	if n := len(base); n != len(rows) {
+		t.Fatalf("emitted %d results for %d rows", n, len(rows))
+	}
+	last := base[len(base)-1]
+	if last.Refits == 0 {
+		t.Fatalf("stream never refitted: %+v", last)
+	}
+	for _, workers := range []int{1, 3} {
+		other := run(workers)
+		for i := range base {
+			if base[i] != other[i] {
+				t.Fatalf("workers=%d diverges at %d: %+v vs %+v", workers, i, base[i], other[i])
+			}
+		}
+	}
+	rerun := run(0)
+	for i := range base {
+		if base[i] != rerun[i] {
+			t.Fatalf("rerun diverges at %d: %+v vs %+v", i, base[i], rerun[i])
+		}
+	}
+}
+
+// TestStreamRefitChangesScores: after a refit the stream scores against
+// the new window's model — a point that drifted into the data's new
+// regime stops looking outlying.
+func TestStreamRefitChangesScores(t *testing.T) {
+	rows := demoRows(35, 90, 3)
+	withRefit, err := NewStream(Options{M: 10, Seed: 35, MinPts: 5, TopK: 3},
+		StreamOptions{Window: 30, RefitEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer withRefit.Close()
+	frozen, err := NewStream(Options{M: 10, Seed: 35, MinPts: 5, TopK: 3},
+		StreamOptions{Window: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frozen.Close()
+	a := pushAll(t, withRefit, rows, false)
+	b := pushAll(t, frozen, rows, false)
+	if withRefit.Refits() == 0 {
+		t.Fatal("refitting stream recorded no refits")
+	}
+	if frozen.Refits() != 0 {
+		t.Fatalf("frozen stream refitted %d times", frozen.Refits())
+	}
+	diverged := false
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("refits never changed a score; the model swap is not taking effect")
+	}
+}
+
+// TestStreamAsyncSyncParity: an async stream drained after every push
+// produces the synchronous score sequence bit-for-bit.
+func TestStreamAsyncSyncParity(t *testing.T) {
+	rows := demoRows(36, 100, 3)
+	opts := Options{M: 10, Seed: 36, MinPts: 5, TopK: 3}
+	sync, err := NewStream(opts, StreamOptions{Window: 30, RefitEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sync.Close()
+	async, err := NewStream(opts, StreamOptions{Window: 30, RefitEvery: 20, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer async.Close()
+	a := pushAll(t, sync, rows, false)
+	b := pushAll(t, async, rows, true)
+	if len(a) != len(b) {
+		t.Fatalf("sync emitted %d, drained async %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drained async diverges at %d: sync %+v, async %+v", i, a[i], b[i])
+		}
+	}
+	if sync.Refits() != async.Refits() {
+		t.Errorf("refit counts diverge: sync %d, async %d", sync.Refits(), async.Refits())
+	}
+}
+
+// TestStreamRefitCancellation: a deadlined context aborts a synchronous
+// refit with ctx.Err() and no goroutine leaks; the stream recovers with a
+// fresh context.
+func TestStreamRefitCancellation(t *testing.T) {
+	train := demoRows(37, 60, 3)
+	m, err := Fit(train, Options{M: 10, Seed: 37, MinPts: 5, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewStream(StreamOptions{Window: 40, RefitEvery: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := runtime.NumGoroutine()
+	rows := demoRows(38, 40, 3)
+	for i, r := range rows[:39] {
+		if _, err := s.Push(context.Background(), r); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	// The 40th arrival fills the window and triggers a refit whose Monte
+	// Carlo loop must observe the (immediately expiring) deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err = s.Push(ctx, rows[39])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("refit under deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	// No worker goroutine may outlive the aborted refit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines %d -> %d after aborted refit", before, after)
+	}
+	// Fresh context: the stream keeps scoring.
+	if _, err := s.Push(context.Background(), rows[0]); err != nil {
+		t.Fatalf("push after aborted refit: %v", err)
+	}
+}
+
+// TestStreamEdgeCases covers the remaining satellite edge cases: a
+// window not exceeding MinPts is rejected naming the field, zero-row and
+// single-row streams close cleanly.
+func TestStreamEdgeCases(t *testing.T) {
+	// Window must exceed MinPts (default 10).
+	if _, err := NewStream(Options{}, StreamOptions{Window: 10}); err == nil ||
+		!strings.Contains(err.Error(), "StreamOptions.Window") {
+		t.Errorf("Window == MinPts: err = %v, want StreamOptions.Window named", err)
+	}
+	train := demoRows(39, 60, 3)
+	m, err := Fit(train, Options{M: 10, Seed: 39, MinPts: 5, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewStream(StreamOptions{Window: 5}); err == nil ||
+		!strings.Contains(err.Error(), "StreamOptions.Window") {
+		t.Errorf("warm Window == MinPts: err = %v, want StreamOptions.Window named", err)
+	}
+
+	// Zero-row stream: open and close, nothing scored.
+	s, err := m.NewStream(StreamOptions{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("zero-row Close: %v", err)
+	}
+	if s.Seen() != 0 {
+		t.Errorf("zero-row Seen = %d", s.Seen())
+	}
+
+	// Single-row warm stream: exactly one result.
+	s, err = m.NewStream(StreamOptions{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Push(context.Background(), train[0])
+	if err != nil || len(res) != 1 {
+		t.Fatalf("single warm push: res %v err %v", res, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("single-row Close: %v", err)
+	}
+
+	// Single-row cold stream: still warming up, no results, clean close.
+	cold, err := NewStream(Options{M: 10, Seed: 39, MinPts: 5}, StreamOptions{Window: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = cold.Push(context.Background(), train[0])
+	if err != nil || len(res) != 0 {
+		t.Fatalf("single cold push: res %v err %v, want none", res, err)
+	}
+	if cold.Warm() {
+		t.Error("cold stream warm after one row")
+	}
+	if err := cold.Close(); err != nil {
+		t.Errorf("cold single-row Close: %v", err)
+	}
+}
+
+// TestStreamOptionValidation: every StreamOptions field is validated with
+// its name in the error, and unfittable scorers are rejected up front.
+func TestStreamOptionValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		sopts StreamOptions
+		want  string
+	}{
+		{"zero window", Options{}, StreamOptions{}, "StreamOptions.Window"},
+		{"window below minpts", Options{MinPts: 20}, StreamOptions{Window: 15}, "StreamOptions.Window"},
+		{"negative refit cadence", Options{}, StreamOptions{Window: 20, RefitEvery: -1}, "StreamOptions.RefitEvery"},
+		{"async without refits", Options{}, StreamOptions{Window: 20, Async: true}, "StreamOptions.Async"},
+		{"negative workers", Options{}, StreamOptions{Window: 20, Workers: -1}, "StreamOptions.Workers"},
+		{"unfittable scorer", Options{Scorer: "orca"}, StreamOptions{Window: 20}, "orca"},
+		{"invalid base options", Options{Alpha: 2}, StreamOptions{Window: 20}, "Alpha"},
+	}
+	for _, tc := range cases {
+		if _, err := NewStream(tc.opts, tc.sopts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStreamRejectsNonFinite: the streaming entry point names the row and
+// attribute of a non-finite input instead of scoring it.
+func TestStreamRejectsNonFinite(t *testing.T) {
+	train := demoRows(40, 60, 3)
+	m, err := Fit(train, Options{M: 10, Seed: 40, MinPts: 5, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewStream(StreamOptions{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Push(context.Background(), train[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Push(context.Background(), []float64{0.5, math.NaN(), 0.5})
+	if err == nil || !strings.Contains(err.Error(), "row 1") || !strings.Contains(err.Error(), "attribute 1") {
+		t.Errorf("NaN push: err = %v, want row 1 attribute 1 named", err)
+	}
+	_, err = s.Push(context.Background(), []float64{math.Inf(1), 0.5, 0.5})
+	if err == nil || !strings.Contains(err.Error(), "attribute 0") {
+		t.Errorf("Inf push: err = %v, want attribute 0 named", err)
+	}
+}
