@@ -6,6 +6,7 @@
 //	hics [flags] <input.csv>
 //	hics -stream [flags] [input.csv]
 //	hics -list-methods
+//	hics -version
 //
 // The input is numeric CSV; with -header the first row names the
 // attributes, and a column named "label"/"outlier" (or the -label flag) is
@@ -97,6 +98,7 @@ func run(ctx context.Context, args []string) error {
 		window      = fs.Int("window", 100, "stream: sliding-window size (must exceed -minpts)")
 		refitEvery  = fs.Int("refit-every", 0, "stream: re-fit the model over the window every N arrivals (0 = never)")
 		streamAsync = fs.Bool("stream-async", false, "stream: re-fit in the background, keep scoring with the current model meanwhile")
+		version     = fs.Bool("version", false, "print the version and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: hics [flags] <input.csv>\n       hics -stream [flags] [input.csv]")
@@ -104,6 +106,10 @@ func run(ctx context.Context, args []string) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("hics", hics.Version)
+		return nil
 	}
 	if *listMethods {
 		return printMethods(os.Stdout)

@@ -4,6 +4,8 @@
 //
 //	hicsd -model model.hics [-addr :8080] [-request-timeout 1m] [-workers N]
 //	      [-stream-window N] [-stream-refit-every N] [-stream-async]
+//	      [-log-format text|json] [-log-level debug|info|warn|error]
+//	hicsd -version
 //
 // The model file is produced by hics.Model.Save — most conveniently via
 // `hics -save-model model.hics data.csv`. The server loads it once at
@@ -19,8 +21,16 @@
 //	                  one {"index","score","refits"} record per line out,
 //	                  flushed as each row is scored; ?window=, ?refit_every=
 //	                  and ?async= override the -stream-* defaults
-//	GET  /debug/vars  expvar counters: requests, errors, active streams,
-//	                  refits, last score latency
+//	GET  /metrics     Prometheus text exposition: per-endpoint request
+//	                  counters and latency histograms, stream/refit
+//	                  counters and durations, worker-pool saturation,
+//	                  model metadata gauges (see docs/metrics.md)
+//	GET  /debug/vars  legacy expvar view over the same registry
+//
+// Logging is structured (log/slog) on stderr: one record per completed
+// request carrying a generated request ID that also tags every event
+// the request spawns, including background stream-refit fits.
+// -log-format selects text or json, -log-level the minimum severity.
 //
 // Scoring is out-of-sample against the frozen training state — the
 // Monte Carlo subspace search never runs at serving time, so a /score
@@ -40,6 +50,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -74,13 +85,20 @@ func run(ctx context.Context, args []string) error {
 		streamWin   = fs.Int("stream-window", 0, "default /stream sliding-window size (0 = the model's training-set size)")
 		streamRefit = fs.Int("stream-refit-every", 0, "default /stream refit cadence in arrivals (0 = never refit)")
 		streamAsync = fs.Bool("stream-async", false, "refit /stream models in the background instead of inline")
+		logFormat   = fs.String("log-format", "text", "structured log encoding on stderr: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		version     = fs.Bool("version", false, "print the version and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080] [-request-timeout 1m] [-workers N] [-stream-window N] [-stream-refit-every N] [-stream-async]")
+		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080] [-request-timeout 1m] [-workers N] [-stream-window N] [-stream-refit-every N] [-stream-async] [-log-format text|json] [-log-level debug|info|warn|error]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("hicsd", hics.Version)
+		return nil
 	}
 	if fs.NArg() != 0 {
 		fs.Usage()
@@ -89,6 +107,10 @@ func run(ctx context.Context, args []string) error {
 	if *modelPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-model is required")
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 	if *reqTimeout < 0 {
 		return fmt.Errorf("-request-timeout must be non-negative, got %v", *reqTimeout)
@@ -114,9 +136,11 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hicsd: model %s (%s+%s, format v%d, %d objects x %d attributes, %d subspaces), listening on %s\n",
-		*modelPath, m.SearchMethod(), m.ScorerMethod(), m.FormatVersion(),
-		m.N(), m.D(), len(m.Subspaces()), ln.Addr())
+	logger.Info("hicsd listening",
+		"version", hics.Version, "addr", ln.Addr().String(), "model", *modelPath,
+		"search", m.SearchMethod(), "scorer", m.ScorerMethod(),
+		"format_version", m.FormatVersion(), "objects", m.N(), "attributes", m.D(),
+		"subspaces", len(m.Subspaces()))
 
 	// The write and read timeouts must outlast the compute budget, or a
 	// request that legitimately uses its whole budget is cut off
@@ -140,6 +164,7 @@ func run(ctx context.Context, args []string) error {
 			StreamWindow:     *streamWin,
 			StreamRefitEvery: *streamRefit,
 			StreamAsync:      *streamAsync,
+			Logger:           logger,
 		}),
 		// Slow or idle clients must not pin goroutines and descriptors
 		// forever: bound the header read, the body read, the response
@@ -158,7 +183,7 @@ func run(ctx context.Context, args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Println("hicsd: shutdown signal received, draining in-flight requests")
+		logger.Info("shutdown signal received, draining in-flight requests", "grace", shutdownGrace)
 		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
@@ -166,8 +191,35 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
 		<-errc // Serve has returned http.ErrServerClosed
-		fmt.Println("hicsd: drained, exiting")
+		logger.Info("drained, exiting")
 		return nil
+	}
+}
+
+// newLogger builds the process logger from the -log-format and
+// -log-level flags; unknown values are rejected naming the flag.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn or error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
 	}
 }
 

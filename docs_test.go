@@ -1,0 +1,55 @@
+package hics_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRe matches inline markdown links [text](target). Reference-style
+// links are not used in this repository's docs.
+var mdLinkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve walks README.md and docs/*.md and checks that
+// every relative link points at a file or directory that exists, so the
+// docs restructure cannot leave dangling cross-references. External
+// (http/https/mailto) links and pure in-page anchors are skipped — CI
+// has no network.
+func TestDocLinksResolve(t *testing.T) {
+	pages := []string{"README.md"}
+	more, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, more...)
+	if len(pages) < 2 {
+		t.Fatalf("expected README.md plus docs/*.md, found only %v", pages)
+	}
+
+	for _, page := range pages {
+		raw, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("reading %s: %v", page, err)
+		}
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			// Drop an in-page anchor suffix: guide.md#section checks guide.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(page), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link %q does not resolve (%v)", page, m[1], err)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package hics_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hics"
+)
+
+// exampleRows builds a small deterministic dataset: two correlated
+// attributes forming clusters plus one independent noise attribute —
+// the shape HiCS is built to exploit.
+func exampleRows(n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		f := float64(i)
+		c := 0.3
+		if i%2 == 1 {
+			c = 0.7
+		}
+		rows[i] = []float64{
+			c + 0.02*math.Sin(3*f),
+			c + 0.02*math.Cos(5*f),
+			0.5 + 0.4*math.Sin(1.7*f),
+		}
+	}
+	return rows
+}
+
+// ExampleFit runs the subspace search once, freezes the result into a
+// reusable Model, and scores new observations out of sample — the
+// fit/score split behind the hicsd serving layer.
+func ExampleFit() {
+	model, err := hics.Fit(exampleRows(80), hics.Options{Seed: 42, M: 10, TopK: 3})
+	if err != nil {
+		panic(err)
+	}
+
+	// Score a fresh point against the frozen training state: no Monte
+	// Carlo search runs at scoring time.
+	score, err := model.Score([]float64{0.3, 0.7, 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scored one point:", score > 0)
+
+	scores, err := model.ScoreBatch([][]float64{{0.3, 0.3, 0.5}, {0.7, 0.7, 0.1}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("batch scores:", len(scores))
+	// Output:
+	// scored one point: true
+	// batch scores: 2
+}
+
+// ExampleModel_NewStream wraps a fitted model into a warm streaming
+// detector: every pushed row is scored immediately against the frozen
+// model, and the sliding window is ready to drive periodic refits.
+func ExampleModel_NewStream() {
+	model, err := hics.Fit(exampleRows(80), hics.Options{Seed: 42, M: 10, TopK: 3})
+	if err != nil {
+		panic(err)
+	}
+
+	stream, err := model.NewStream(hics.StreamOptions{Window: 40})
+	if err != nil {
+		panic(err)
+	}
+	defer stream.Close()
+
+	ctx := context.Background()
+	for _, row := range exampleRows(3) {
+		results, err := stream.Push(ctx, row)
+		if err != nil {
+			panic(err)
+		}
+		for _, r := range results {
+			fmt.Printf("arrival %d scored: %v\n", r.Index, r.Score > 0)
+		}
+	}
+	// Output:
+	// arrival 0 scored: true
+	// arrival 1 scored: true
+	// arrival 2 scored: true
+}

@@ -504,5 +504,8 @@ func ScorerNames() []string { return registry.ScorerNames() }
 // accepts.
 func FitScorerNames() []string { return registry.FitScorerNames() }
 
-// Version identifies the library release.
-const Version = "1.4.0"
+// Version identifies the library release. It is the single source of
+// truth for version reporting: the hicsd /healthz and /info responses,
+// the `hics -version` and `hicsd -version` flags, and the README all
+// derive from this constant.
+const Version = "1.5.0"

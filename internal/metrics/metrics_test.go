@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("http_requests_total", "requests", "endpoint", "code")
+	v.With("score", "200").Add(3)
+	v.With("score", "400").Inc()
+	v.With("rank", "200").Inc()
+	if got := v.With("score", "200").Value(); got != 3 {
+		t.Errorf(`With("score","200") = %d, want 3`, got)
+	}
+	if got := v.Total(); got != 5 {
+		t.Errorf("Total() = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-55.65) > 1e-9 {
+		t.Errorf("Sum() = %v, want 55.65", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	// Cumulative buckets: 0.1 catches 0.05 and the boundary value 0.1
+	// (le is inclusive), 1 adds 0.5, 10 adds 5, +Inf adds 50.
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 55.65`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("b_total", "with \"quotes\" and\nnewline", "path").With(`a"b\c`).Inc()
+	r.NewGauge("a_gauge", "first alphabetically").Set(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	// Families render sorted by name.
+	if ai, bi := strings.Index(out, "a_gauge"), strings.Index(out, "b_total"); ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, `b_total{path="a\"b\\c"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP b_total with "quotes" and\nnewline`) {
+		t.Errorf("HELP newline not escaped:\n%s", out)
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Split(line, " "); len(parts) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid name did not panic")
+		}
+	}()
+	r.NewCounter("0bad-name", "")
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "").Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 7") {
+		t.Errorf("body missing sample:\n%s", buf[:n])
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("c_total", "", "w")
+	h := r.NewHistogram("h_seconds", "", nil)
+	g := r.NewGauge("g", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.With("a").Inc()
+				h.Observe(0.001 * float64(i%10))
+				g.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Total(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+	if got := g.Value(); got != 8000 {
+		t.Errorf("gauge = %v, want 8000", got)
+	}
+}

@@ -1,0 +1,29 @@
+// Package parallel provides the one goroutine fan-out primitive every
+// compute layer of this repository shares: a deterministic, chunked,
+// context-aware parallel for-loop with panic propagation. The subspace
+// search (internal/core), the batch KNN passes (internal/neighbors) and
+// model batch scoring (hics.Model.ScoreBatch) all run on ForEach — no
+// other package spawns worker goroutines.
+//
+// # Determinism contract
+//
+// fn's effect for index i must not depend on which worker runs it — the
+// worker id exists only so callers can reuse per-worker scratch state.
+// Under that contract the outcome of a ForEach is bit-for-bit
+// independent of scheduling, worker count and chunk size.
+//
+// # Cancellation contract
+//
+// Workers observe ctx between chunks (and callers typically re-check ctx
+// inside fn's own inner loops), so a cancelled context stops the fan-out
+// within one chunk of work per worker, and ForEach does not return until
+// every worker goroutine has exited — no goroutine outlives the call.
+//
+// # Observability
+//
+// Because every fan-out in the process goes through ForEach, the
+// package's two metrics series (fan-out invocations, busy workers) are
+// the complete picture of worker-pool saturation; scrape
+// hics_parallel_workers_busy against GOMAXPROCS to see how loaded the
+// pool is. See docs/metrics.md.
+package parallel

@@ -1,20 +1,3 @@
-// Package parallel provides the one goroutine fan-out primitive every
-// compute layer of this repository shares: a deterministic, chunked,
-// context-aware parallel for-loop with panic propagation. The subspace
-// search (internal/core), the batch KNN passes (internal/neighbors) and
-// model batch scoring (hics.Model.ScoreBatch) all run on ForEach — no
-// other package spawns worker goroutines.
-//
-// Determinism contract: fn's effect for index i must not depend on which
-// worker runs it — the worker id exists only so callers can reuse
-// per-worker scratch state. Under that contract the outcome of a ForEach
-// is bit-for-bit independent of scheduling, worker count and chunk size.
-//
-// Cancellation contract: workers observe ctx between chunks (and callers
-// typically re-check ctx inside fn's own inner loops), so a cancelled
-// context stops the fan-out within one chunk of work per worker, and
-// ForEach does not return until every worker goroutine has exited — no
-// goroutine outlives the call.
 package parallel
 
 import (
@@ -24,6 +7,19 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"hics/internal/metrics"
+)
+
+// Worker-pool saturation instrumentation: every fan-out in the process
+// goes through ForEach, so these two series are the complete picture of
+// compute-pool pressure — scrape workers_busy against GOMAXPROCS to see
+// how saturated the pool is.
+var (
+	mForEach = metrics.Default.NewCounter("hics_parallel_foreach_total",
+		"Parallel fan-out invocations (every worker-pool use in the process).")
+	mWorkersBusy = metrics.Default.NewGauge("hics_parallel_workers_busy",
+		"Worker goroutines currently executing fan-out work.")
 )
 
 // Panic wraps a panic value recovered on a worker goroutine. ForEach
@@ -78,6 +74,9 @@ func ForEach(ctx context.Context, n, workers, chunk int, fn func(worker, i int) 
 		return nil
 	}
 	workers = WorkerCount(workers, n)
+	mForEach.Inc()
+	mWorkersBusy.Add(float64(workers))
+	defer mWorkersBusy.Add(-float64(workers))
 	if chunk <= 0 {
 		// Several chunks per worker: balanced tails without giving up the
 		// between-chunk cancellation checks.

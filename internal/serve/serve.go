@@ -1,71 +1,68 @@
-// Package serve implements the HTTP scoring interface behind the
-// cmd/hicsd server: a trained hics.Model exposed as a JSON endpoint. It
-// lives outside the command so the examples (and tests) can embed the
-// exact handler the daemon serves.
-//
-// Endpoints:
-//
-//	GET  /healthz     liveness plus model shape (objects, attributes,
-//	                  subspaces)
-//	GET  /info        the served model's method pair (searcher, scorer),
-//	                  subspace count, persistence format version, and the
-//	                  server version string
-//	POST /score       score one point ({"point": [...]}) or a batch
-//	                  ({"points": [[...], ...]}) against the model
-//	POST /rank        run a full deadlined HiCS ranking on posted rows
-//	                  ({"rows": [[...], ...], "options": {...}})
-//	POST /stream      NDJSON streaming scoring: one JSON row per line in,
-//	                  one {"index","score","refits"} record per line out,
-//	                  flushed as each row is scored
-//	GET  /debug/vars  expvar counters (requests, errors, active streams,
-//	                  refits, last score latency) plus Go runtime stats
-//
-// Every compute endpoint runs under the request's context: a client
-// disconnect cancels the in-flight work (including an open stream), and
-// Config.RequestTimeout adds a server-side deadline — a request over
-// budget gets 504 (or a terminal NDJSON error record once a stream has
-// started) and its Monte Carlo workers stop within one chunk of work.
-// The deadline is observed between rows; a stream idling inside a body
-// read is bounded by the server's read timeout instead (hicsd derives it
-// from the same budget).
-//
-// The model is immutable after load and Model.Score is safe for
-// concurrent use, so the handler needs no locking; each /stream request
-// gets its own detector wrapped around the shared model.
 package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"hics"
+	"hics/internal/metrics"
 )
 
-// Instrumentation counters, exposed on /debug/vars under the "hicsd"
-// map. They are process-global (expvar registration is once-only), so
-// multiple handlers share them; tests must assert on deltas.
+// Instrumentation, registered once into the process-wide metrics
+// registry and served by GET /metrics in Prometheus text format. The
+// series are process-global (like the expvar counters they supersede),
+// so multiple handlers share them; tests assert on deltas. GET
+// /debug/vars stays available as a thin compatibility view over the
+// same registry — see debugVars.
 var (
-	mRequests      = new(expvar.Int)   // total HTTP requests
-	mErrors        = new(expvar.Int)   // error responses and stream error records
-	mActiveStreams = new(expvar.Int)   // currently open /stream sessions
-	mRefits        = new(expvar.Int)   // completed streaming model refits
-	mLastScoreLat  = new(expvar.Float) // wall time of the latest scoring call, ms
+	mRequests = metrics.Default.NewCounterVec("hicsd_http_requests_total",
+		"Completed HTTP requests by endpoint and status code.",
+		"endpoint", "code")
+	mDuration = metrics.Default.NewHistogramVec("hicsd_http_request_duration_seconds",
+		"Wall time of completed HTTP requests by endpoint (a /stream session counts once, at close).",
+		nil, "endpoint")
+	mErrors = metrics.Default.NewCounter("hicsd_http_errors_total",
+		"Error responses (status >= 400) plus terminal NDJSON stream error records.")
+	mActiveStreams = metrics.Default.NewGauge("hicsd_streams_active",
+		"Currently open /stream sessions.")
+	mRefits = metrics.Default.NewCounter("hicsd_stream_refits_total",
+		"Model refits observed by /stream sessions (CLI and library streams count in hics_stream_refits_total instead).")
+	mLastScoreLat = metrics.Default.NewGauge("hicsd_last_score_latency_seconds",
+		"Wall time of the latest scoring call (/score request or /stream row).")
+	mModelSubspaces = metrics.Default.NewGauge("hicsd_model_subspaces",
+		"Frozen subspace projections of the served model.")
+	mModelFormatVersion = metrics.Default.NewGauge("hicsd_model_format_version",
+		"Persistence format version the served model was loaded from.")
 )
 
-func init() {
-	m := expvar.NewMap("hicsd")
-	m.Set("requests", mRequests)
-	m.Set("errors", mErrors)
-	m.Set("active_streams", mActiveStreams)
-	m.Set("refits", mRefits)
-	m.Set("last_score_latency_ms", mLastScoreLat)
+// endpoints maps request paths onto the bounded endpoint label set; any
+// unknown path (404 traffic) collapses into "other" so scrape
+// cardinality cannot grow with abuse.
+var endpoints = map[string]string{
+	"/healthz":    "healthz",
+	"/info":       "info",
+	"/score":      "score",
+	"/rank":       "rank",
+	"/stream":     "stream",
+	"/metrics":    "metrics",
+	"/debug/vars": "debug_vars",
+}
+
+func endpointLabel(path string) string {
+	if e, ok := endpoints[path]; ok {
+		return e
+	}
+	return "other"
 }
 
 // Config wires the handler: the served model plus the per-request
@@ -93,7 +90,78 @@ type Config struct {
 	// so scoring keeps flowing during a refit. Clients may override with
 	// ?async=true|false.
 	StreamAsync bool
+	// Logger receives one structured record per completed request
+	// (method, path, endpoint, status, duration, request ID) plus
+	// endpoint-specific events, all carrying the per-request ID the
+	// middleware generates. Nil discards all logging.
+	Logger *slog.Logger
 }
+
+// logger resolves the configured logger, discarding when unset.
+func (cfg Config) logger() *slog.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// ctxKey keys the request-scoped values the middleware injects.
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	loggerKey
+)
+
+// RequestID returns the request's generated ID, or "" outside a request
+// context.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ctxLogger returns the request-scoped logger (already annotated with
+// the request ID), or a discarding logger outside a request context.
+func ctxLogger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// newRequestID generates a 16-hex-digit random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the response status for the request log and the
+// per-endpoint counters. Unwrap keeps http.ResponseController (and so
+// the /stream full-duplex and flush machinery) working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // ScoreRequest is the /score request body. Exactly one of Point and
 // Points must be set.
@@ -290,7 +358,7 @@ func New(cfg Config) http.Handler {
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 				return
 			}
-			mLastScoreLat.Set(float64(time.Since(start)) / float64(time.Millisecond))
+			mLastScoreLat.Set(time.Since(start).Seconds())
 			writeJSON(w, http.StatusOK, pointResponse{Score: s})
 		case req.Points != nil:
 			ctx, cancel := cfg.requestContext(r)
@@ -301,7 +369,7 @@ func New(cfg Config) http.Handler {
 				writeComputeError(w, err)
 				return
 			}
-			mLastScoreLat.Set(float64(time.Since(start)) / float64(time.Millisecond))
+			mLastScoreLat.Set(time.Since(start).Seconds())
 			if scores == nil {
 				scores = []float64{}
 			}
@@ -341,13 +409,72 @@ func New(cfg Config) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/stream", cfg.handleStream)
-	mux.Handle("/debug/vars", expvar.Handler())
-	// The request counter wraps the whole mux so every endpoint —
-	// including 404s — is counted.
+	mux.Handle("/metrics", metrics.Default.Handler())
+	mux.HandleFunc("/debug/vars", debugVars)
+	// The served model's metadata as gauges; a process serves one model,
+	// so the last-constructed handler wins (tests constructing throwaway
+	// handlers share the process-global registry, like expvar before).
+	mModelSubspaces.Set(float64(len(m.Subspaces())))
+	mModelFormatVersion.Set(float64(m.FormatVersion()))
+
+	// Observability middleware wraps the whole mux so every endpoint —
+	// including 404s — is counted, timed and logged. Each request gets a
+	// random ID, carried in the context (RequestID) and on the
+	// request-scoped logger, so endpoint events — including async refit
+	// goroutines outliving their /stream push — stay attributable.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		mRequests.Add(1)
-		mux.ServeHTTP(w, r)
+		start := time.Now()
+		id := newRequestID()
+		log := cfg.logger().With("request_id", id)
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		ctx = context.WithValue(ctx, loggerKey, log)
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r.WithContext(ctx))
+		status := sw.status
+		if status == 0 {
+			// Nothing written: a handler that hijacked or a cancelled
+			// stream; net/http would have sent 200.
+			status = http.StatusOK
+		}
+		endpoint := endpointLabel(r.URL.Path)
+		elapsed := time.Since(start)
+		mRequests.With(endpoint, strconv.Itoa(status)).Inc()
+		mDuration.With(endpoint).Observe(elapsed.Seconds())
+		log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
+			"status", status, "duration", elapsed)
 	})
+}
+
+// debugVars is the /debug/vars compatibility view: the standard expvar
+// page (cmdline, memstats and anything else published) with the legacy
+// "hicsd" map re-derived from the metrics registry, so the two surfaces
+// can never disagree. The map keys and units are unchanged from the
+// expvar era: requests, errors, active_streams, refits,
+// last_score_latency_ms.
+func debugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	writeVar := func(key, value string) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", key, value)
+	}
+	hicsd, _ := json.Marshal(map[string]any{
+		"requests":              mRequests.Total(),
+		"errors":                mErrors.Value(),
+		"active_streams":        int64(mActiveStreams.Value()),
+		"refits":                mRefits.Value(),
+		"last_score_latency_ms": mLastScoreLat.Value() * 1e3,
+	})
+	writeVar("hicsd", string(hicsd))
+	expvar.Do(func(kv expvar.KeyValue) {
+		writeVar(kv.Key, kv.Value.String())
+	})
+	fmt.Fprintf(w, "\n}\n")
 }
 
 // streamOptions resolves a /stream request's detector options: the
@@ -405,6 +532,11 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	// The detector inherits the request-scoped logger, so refit events —
+	// including ones from an async refit goroutine — carry this session's
+	// request ID.
+	log := ctxLogger(r.Context())
+	sopts.Logger = log
 	st, err := cfg.Model.NewStream(sopts)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -415,6 +547,10 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	mActiveStreams.Add(1)
 	defer mActiveStreams.Add(-1)
+	defer func() {
+		log.Debug("stream session closed", "rows", st.Seen(), "refits", st.Refits(),
+			"window", sopts.Window, "refit_every", sopts.RefitEvery, "async", sopts.Async)
+	}()
 
 	// From here on the response is a 200 NDJSON stream; later failures
 	// are terminal {"error": ...} records, not status codes. Scored
@@ -454,7 +590,7 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 			writeStreamError(w, rc, err)
 			return
 		}
-		mLastScoreLat.Set(float64(time.Since(start)) / float64(time.Millisecond))
+		mLastScoreLat.Set(time.Since(start).Seconds())
 		if n := st.Refits(); n > refitsSeen {
 			mRefits.Add(int64(n - refitsSeen))
 			refitsSeen = n

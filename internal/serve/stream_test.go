@@ -305,18 +305,18 @@ func TestStreamEndpointClientDisconnect(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	if n := mActiveStreams.Value(); n > baseline {
-		t.Errorf("active_streams = %d after disconnect, want %d", n, baseline)
+		t.Errorf("active_streams = %v after disconnect, want %v", n, baseline)
 	}
 }
 
-// TestMetricsCounters: the expvar instrumentation moves with traffic and
-// /debug/vars serves it.
+// TestMetricsCounters: the registry instrumentation moves with traffic
+// and /debug/vars serves the legacy view consistently with it.
 func TestMetricsCounters(t *testing.T) {
 	m := fitModel(t)
 	srv := httptest.NewServer(New(Config{Model: m, RequestTimeout: time.Minute}))
 	defer srv.Close()
 
-	requests0 := mRequests.Value()
+	requests0 := mRequests.Total()
 	errors0 := mErrors.Value()
 	refits0 := mRefits.Value()
 
@@ -339,7 +339,7 @@ func TestMetricsCounters(t *testing.T) {
 		t.Fatalf("stream status %d, %d records", streamResp.StatusCode, len(records))
 	}
 
-	if d := mRequests.Value() - requests0; d < 3 {
+	if d := mRequests.Total() - requests0; d < 3 {
 		t.Errorf("requests moved by %d, want >= 3", d)
 	}
 	if d := mErrors.Value() - errors0; d < 1 {
@@ -349,10 +349,24 @@ func TestMetricsCounters(t *testing.T) {
 		t.Errorf("refits moved by %d, want >= 1", d)
 	}
 	if mLastScoreLat.Value() < 0 {
-		t.Errorf("last_score_latency_ms = %v", mLastScoreLat.Value())
+		t.Errorf("last_score_latency_seconds = %v", mLastScoreLat.Value())
+	}
+	// Per-endpoint series moved too: a 200 /score, a 400 /score, a 200
+	// /stream.
+	if n := mRequests.With("score", "200").Value(); n < 1 {
+		t.Errorf(`requests{score,200} = %d, want >= 1`, n)
+	}
+	if n := mRequests.With("score", "400").Value(); n < 1 {
+		t.Errorf(`requests{score,400} = %d, want >= 1`, n)
+	}
+	if n := mRequests.With("stream", "200").Value(); n < 1 {
+		t.Errorf(`requests{stream,200} = %d, want >= 1`, n)
 	}
 
-	// /debug/vars serves the counters as JSON under the hicsd map.
+	// /debug/vars is a thin view over the same registry: the legacy hicsd
+	// map keys exist and agree with the registry values read around the
+	// request (no other traffic hits the server between the two reads).
+	wantReq, wantErr, wantRefits := mRequests.Total(), mErrors.Value(), mRefits.Value()
 	dv, err := http.Get(srv.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
@@ -362,7 +376,10 @@ func TestMetricsCounters(t *testing.T) {
 		t.Fatalf("/debug/vars status %d", dv.StatusCode)
 	}
 	var vars struct {
-		Hicsd map[string]json.RawMessage `json:"hicsd"`
+		Hicsd map[string]json.Number `json:"hicsd"`
+		// The standard expvar pages survive the compatibility rewrite.
+		Cmdline  json.RawMessage `json:"cmdline"`
+		Memstats json.RawMessage `json:"memstats"`
 	}
 	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
 		t.Fatal(err)
@@ -371,6 +388,28 @@ func TestMetricsCounters(t *testing.T) {
 		if _, ok := vars.Hicsd[key]; !ok {
 			t.Errorf("/debug/vars hicsd map missing %q", key)
 		}
+	}
+	if vars.Cmdline == nil || vars.Memstats == nil {
+		t.Error("/debug/vars lost the standard expvar pages (cmdline, memstats)")
+	}
+	got := func(key string) int64 {
+		n, err := vars.Hicsd[key].Int64()
+		if err != nil {
+			t.Fatalf("hicsd.%s: %v", key, err)
+		}
+		return n
+	}
+	if n := got("requests"); n != wantReq {
+		t.Errorf("/debug/vars requests = %d, registry says %d", n, wantReq)
+	}
+	if n := got("errors"); n != wantErr {
+		t.Errorf("/debug/vars errors = %d, registry says %d", n, wantErr)
+	}
+	if n := got("refits"); n != wantRefits {
+		t.Errorf("/debug/vars refits = %d, registry says %d", n, wantRefits)
+	}
+	if ms, _ := vars.Hicsd["last_score_latency_ms"].Float64(); ms < 0 || ms != mLastScoreLat.Value()*1e3 {
+		t.Errorf("/debug/vars last_score_latency_ms = %v, registry gauge (s) = %v", ms, mLastScoreLat.Value())
 	}
 }
 

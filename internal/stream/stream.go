@@ -1,41 +1,35 @@
-// Package stream implements the sliding-window online outlier detector
-// behind hics.NewStream, the hicsd /stream endpoint and `hics -stream`:
-// every arriving row is scored against the current frozen model, the last
-// Window rows are retained in a ring buffer, and every RefitEvery
-// arrivals the model is refitted over the window and swapped atomically.
-//
-// The package is deliberately model-agnostic: it scores through the Model
-// interface and refits through a RefitFunc, so the detector logic is unit
-// testable without running the Monte Carlo pipeline, and the hics root
-// package can wire it to hics.Model/hics.FitContext without an import
-// cycle.
-//
-// Two refit modes:
-//
-//   - synchronous (Config.Async = false): the refit runs inline on the
-//     pushing goroutine, so the model a row is scored against is a pure
-//     function of the input order — for a deterministic RefitFunc the
-//     whole score sequence is bit-for-bit reproducible.
-//   - asynchronous (Config.Async = true): the refit runs on a background
-//     goroutine while scoring continues against the previous model;
-//     throughput never stalls on a refit, at the price of a
-//     scheduling-dependent swap point. Drain waits for an in-flight
-//     refit, restoring the synchronous sequence when called after every
-//     push.
-//
-// Push is single-producer: a stream is an ordered sequence, so calls must
-// not be concurrent (the async refit goroutine is coordinated
-// internally). Close aborts any in-flight refit and must only be called
-// once pushing has stopped.
 package stream
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hics/internal/metrics"
+)
+
+// Detector-level instrumentation, shared by every stream in the process
+// (the hicsd /stream sessions and `hics -stream` alike). The refit mode
+// label separates the initial cold fit from steady-state sync/async
+// replacements, so a scrape can tell warmup cost from drift-following
+// cost.
+var (
+	mDetectorsActive = metrics.Default.NewGauge("hics_stream_detectors_active",
+		"Open streaming detectors (New minus Close).")
+	mRows = metrics.Default.NewCounter("hics_stream_rows_total",
+		"Rows accepted by streaming detectors (validated arrivals).")
+	mRefits = metrics.Default.NewCounterVec("hics_stream_refits_total",
+		"Completed streaming model fits by mode: the initial cold fit, inline sync refits, background async refits.",
+		"mode")
+	mRefitFailures = metrics.Default.NewCounter("hics_stream_refit_failures_total",
+		"Streaming model fits that returned an error (cancelled async refits during Close excluded).")
+	mRefitDuration = metrics.Default.NewHistogram("hics_stream_refit_duration_seconds",
+		"Wall time of completed streaming model fits.", nil)
 )
 
 // Model is the frozen scoring state a detector scores arrivals against.
@@ -73,6 +67,12 @@ type Config struct {
 	// Dims fixes the expected row width; 0 infers it from the first
 	// arrival.
 	Dims int
+	// Logger receives structured refit events (start, completion with
+	// duration, failure). Nil discards them. Callers that serve requests
+	// pass a logger annotated with the request ID, so events from async
+	// refit goroutines stay attributable to the session that spawned
+	// them.
+	Logger *slog.Logger
 }
 
 // Result is one scored arrival.
@@ -95,6 +95,7 @@ type Detector struct {
 	async      bool
 	dims       int
 	refit      RefitFunc
+	log        *slog.Logger
 
 	model  atomic.Pointer[Model]
 	refits atomic.Int64 // completed model replacements
@@ -137,12 +138,17 @@ func New(cfg Config) (*Detector, error) {
 		return nil, fmt.Errorf("stream: Dims must be non-negative, got %d (0 infers the width from the first row)", cfg.Dims)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	d := &Detector{
 		window:     cfg.Window,
 		refitEvery: cfg.RefitEvery,
 		async:      cfg.Async,
 		dims:       cfg.Dims,
 		refit:      cfg.Refit,
+		log:        log,
 		buf:        make([][]float64, 0, cfg.Window),
 		baseCtx:    ctx,
 		cancel:     cancel,
@@ -151,7 +157,31 @@ func New(cfg Config) (*Detector, error) {
 		m := cfg.Model
 		d.model.Store(&m)
 	}
+	mDetectorsActive.Add(1)
 	return d, nil
+}
+
+// timedRefit runs the refit function with duration instrumentation and
+// structured logging; mode labels the metric and log record.
+func (d *Detector) timedRefit(ctx context.Context, mode string, window [][]float64) (Model, error) {
+	start := time.Now()
+	m, err := d.refit(ctx, window)
+	elapsed := time.Since(start)
+	if err != nil {
+		// An abort during Close is the expected shutdown path; everything
+		// else is a failed fit worth counting and logging.
+		if d.baseCtx.Err() == nil {
+			mRefitFailures.Inc()
+			d.log.Warn("stream refit failed", "mode", mode, "window", len(window),
+				"duration", elapsed, "error", err)
+		}
+		return nil, err
+	}
+	mRefits.With(mode).Inc()
+	mRefitDuration.Observe(elapsed.Seconds())
+	d.log.Debug("stream refit complete", "mode", mode, "window", len(window),
+		"duration", elapsed)
+	return m, nil
 }
 
 // Push feeds one arriving row. The row is validated (width and
@@ -196,6 +226,7 @@ func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
 		}
 	}
 	d.count++
+	mRows.Inc()
 
 	cur := d.model.Load()
 	if cur == nil {
@@ -211,7 +242,7 @@ func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
 			return nil, nil
 		}
 		win := d.chrono(false)
-		m, err := d.refit(ctx, win)
+		m, err := d.timedRefit(ctx, "initial", win)
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +318,7 @@ func (d *Detector) chrono(copyRows bool) [][]float64 {
 // syncRefit refits inline and swaps the model; the pushing goroutine
 // carries the cost, keeping the score sequence deterministic.
 func (d *Detector) syncRefit(ctx context.Context) error {
-	m, err := d.refit(ctx, d.chrono(false))
+	m, err := d.timedRefit(ctx, "sync", d.chrono(false))
 	if err != nil {
 		return err
 	}
@@ -314,7 +345,7 @@ func (d *Detector) tryAsyncRefit() {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		m, err := d.refit(d.baseCtx, snap)
+		m, err := d.timedRefit(d.baseCtx, "async", snap)
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		defer close(done)
@@ -370,6 +401,7 @@ func (d *Detector) Close() error {
 	}
 	d.closed = true
 	d.mu.Unlock()
+	mDetectorsActive.Add(-1)
 	d.cancel()
 	d.wg.Wait()
 	d.mu.Lock()

@@ -3,6 +3,7 @@ package hics
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"hics/internal/lof"
@@ -34,6 +35,12 @@ type StreamOptions struct {
 	// 0 defers to the fit options (cold streams) or the model's setting
 	// (warm streams).
 	Workers int
+	// Logger receives structured refit events (completion with duration,
+	// failures) from the detector, including its background async-refit
+	// goroutine. Nil discards them. The hicsd /stream endpoint passes a
+	// logger annotated with the session's request ID, so refit events
+	// stay attributable to the request that triggered them.
+	Logger *slog.Logger
 }
 
 // validate rejects out-of-range stream options with the offending field
@@ -115,6 +122,7 @@ func NewStream(opts Options, sopts StreamOptions) (*Stream, error) {
 		Window:     sopts.Window,
 		RefitEvery: sopts.RefitEvery,
 		Async:      sopts.Async,
+		Logger:     sopts.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -156,6 +164,7 @@ func (m *Model) NewStream(sopts StreamOptions) (*Stream, error) {
 		RefitEvery: sopts.RefitEvery,
 		Async:      sopts.Async,
 		Dims:       m.fp.D,
+		Logger:     sopts.Logger,
 	})
 	if err != nil {
 		return nil, err
