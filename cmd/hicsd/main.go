@@ -1,31 +1,53 @@
-// Command hicsd serves a trained HiCS model over HTTP.
+// Command hicsd serves a fleet of trained HiCS models over HTTP.
 //
 // Usage:
 //
 //	hicsd -model model.hics [-addr :8080] [-request-timeout 1m] [-workers N]
 //	      [-stream-window N] [-stream-refit-every N] [-stream-async]
 //	      [-log-format text|json] [-log-level debug|info|warn|error]
+//	hicsd -models-dir DIR [-manifest FILE] [-admin-token TOKEN] [...]
 //	hicsd -version
 //
-// The model file is produced by hics.Model.Save — most conveniently via
-// `hics -save-model model.hics data.csv`. The server loads it once at
-// startup and answers concurrent scoring requests:
+// Model files are produced by hics.Model.Save — most conveniently via
+// `hics -save-model model.hics data.csv`. With -model the server loads
+// one model at startup and serves it under the name "default"; with
+// -models-dir it restores the whole fleet recorded in the directory's
+// manifest (written by earlier PUT /models/{name} calls) and persists
+// runtime model loads there, so a restart restores the fleet. The two
+// compose: -model seeds the default before the manifest restore runs.
 //
-//	GET  /healthz     liveness and model shape
+//	GET  /healthz     liveness, readiness (503 while the manifest restore
+//	                  is in flight) and per-model load states
 //	GET  /info        method pair (searcher, scorer), subspace count,
-//	                  format version, server version
-//	POST /score       {"point": [...]} or {"points": [[...], ...]}
+//	                  format version, server version; ?model= routes
+//	POST /score       {"point": [...]} or {"points": [[...], ...]};
+//	                  ?model= routes, default model otherwise
 //	POST /rank        {"rows": [[...], ...], "options": {...}} — a full
-//	                  deadlined HiCS ranking on the posted rows
+//	                  deadlined HiCS ranking on the posted rows, admitted
+//	                  against the routed model's quota
 //	POST /stream      NDJSON streaming scoring: one JSON row per line in,
 //	                  one {"index","score","refits"} record per line out,
 //	                  flushed as each row is scored; ?window=, ?refit_every=
-//	                  and ?async= override the -stream-* defaults
+//	                  and ?async= override the -stream-* defaults; ?model=
+//	                  routes
+//	GET  /models      the fleet: every model's state, shape and quota
+//	GET  /models/{name}    one model's status
+//	PUT  /models/{name}    load or hot-swap a model (body = saved model
+//	                  file; ?max_concurrent=, ?max_streams=, ?workers=
+//	                  set its admission quota, ?default=true routes
+//	                  unnamed requests here); in-flight requests finish
+//	                  on the old version, new ones see the new
+//	DELETE /models/{name}  unload: new requests 404 immediately, in-flight
+//	                  ones drain, then the persisted file is removed
 //	GET  /metrics     Prometheus text exposition: per-endpoint request
 //	                  counters and latency histograms, stream/refit
 //	                  counters and durations, worker-pool saturation,
-//	                  model metadata gauges (see docs/metrics.md)
+//	                  per-model metadata gauges (see docs/metrics.md)
 //	GET  /debug/vars  legacy expvar view over the same registry
+//
+// -admin-token locks the mutating management endpoints (PUT/DELETE)
+// behind "Authorization: Bearer <token>"; without it they are open,
+// which is only appropriate behind a trusted control plane.
 //
 // Logging is structured (log/slog) on stderr: one record per completed
 // request carrying a generated request ID that also tags every event
@@ -59,6 +81,7 @@ import (
 	"time"
 
 	"hics"
+	"hics/internal/fleet"
 	"hics/internal/serve"
 )
 
@@ -78,7 +101,10 @@ const shutdownGrace = 15 * time.Second
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hicsd", flag.ContinueOnError)
 	var (
-		modelPath   = fs.String("model", "", "path to a saved model file (required)")
+		modelPath   = fs.String("model", "", "path to a saved model file, served as the default model")
+		modelsDir   = fs.String("models-dir", "", "model fleet directory: restore the manifest at startup, persist runtime model loads")
+		manifest    = fs.String("manifest", "", "manifest path override (default <models-dir>/manifest.json)")
+		adminToken  = fs.String("admin-token", "", "bearer token required by PUT/DELETE /models/{name} (empty = open)")
 		addr        = fs.String("addr", ":8080", "listen address")
 		reqTimeout  = fs.Duration("request-timeout", time.Minute, "server-side compute budget per /score, /rank and /stream request (0 = unlimited)")
 		workers     = fs.Int("workers", 0, "max goroutines one request may fan out over (0 = one per CPU)")
@@ -90,7 +116,7 @@ func run(ctx context.Context, args []string) error {
 		version     = fs.Bool("version", false, "print the version and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> [-addr :8080] [-request-timeout 1m] [-workers N] [-stream-window N] [-stream-refit-every N] [-stream-async] [-log-format text|json] [-log-level debug|info|warn|error]")
+		fmt.Fprintln(fs.Output(), "usage: hicsd -model <model file> | -models-dir <dir> [-manifest FILE] [-admin-token TOKEN] [-addr :8080] [-request-timeout 1m] [-workers N] [-stream-window N] [-stream-refit-every N] [-stream-async] [-log-format text|json] [-log-level debug|info|warn|error]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -104,9 +130,12 @@ func run(ctx context.Context, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if *modelPath == "" {
+	if *modelPath == "" && *modelsDir == "" {
 		fs.Usage()
-		return fmt.Errorf("-model is required")
+		return fmt.Errorf("at least one of -model and -models-dir is required")
+	}
+	if *manifest != "" && *modelsDir == "" {
+		return fmt.Errorf("-manifest requires -models-dir")
 	}
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -127,20 +156,50 @@ func run(ctx context.Context, args []string) error {
 	if *streamAsync && *streamRefit == 0 {
 		return fmt.Errorf("-stream-async requires -stream-refit-every > 0")
 	}
-	m, err := loadModel(*modelPath)
-	if err != nil {
-		return err
+	// The fleet behind every endpoint: persisted when -models-dir is set,
+	// in-memory otherwise. An explicit -model loads synchronously before
+	// anything else — it must be servable by the first request — and wins
+	// over a same-named manifest entry.
+	fl := fleet.New(fleet.Config{
+		Dir:            *modelsDir,
+		Manifest:       *manifest,
+		DefaultWorkers: *workers,
+		Logger:         logger,
+	})
+	if *modelPath != "" {
+		m, err := loadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		if err := fl.Put(fleet.DefaultName, m, fleet.Quota{}, true); err != nil {
+			return err
+		}
 	}
-	m.SetWorkers(*workers)
+	if *modelsDir != "" {
+		// The manifest restore runs behind the listener so a large fleet
+		// does not delay the bind; /healthz reports 503 "starting" until
+		// it completes. Errors degrade single models, not the server —
+		// only a broken manifest is fatal to the restore itself.
+		go func() {
+			if err := fl.Restore(ctx); err != nil {
+				logger.Error("fleet restore failed", "error", err)
+				return
+			}
+			logger.Info("fleet restored", "models", fl.Len(), "default", fl.DefaultModel())
+		}()
+	} else {
+		if err := fl.Restore(ctx); err != nil {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	logger.Info("hicsd listening",
-		"version", hics.Version, "addr", ln.Addr().String(), "model", *modelPath,
-		"search", m.SearchMethod(), "scorer", m.ScorerMethod(),
-		"format_version", m.FormatVersion(), "objects", m.N(), "attributes", m.D(),
-		"subspaces", len(m.Subspaces()))
+		"version", hics.Version, "addr", ln.Addr().String(),
+		"model", *modelPath, "models_dir", *modelsDir,
+		"admin_auth", *adminToken != "")
 
 	// The write and read timeouts must outlast the compute budget, or a
 	// request that legitimately uses its whole budget is cut off
@@ -158,7 +217,8 @@ func run(ctx context.Context, args []string) error {
 	readTimeout := writeTimeout
 	srv := &http.Server{
 		Handler: serve.New(serve.Config{
-			Model:            m,
+			Fleet:            fl,
+			AdminToken:       *adminToken,
 			RequestTimeout:   *reqTimeout,
 			RankWorkers:      *workers,
 			StreamWindow:     *streamWin,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"os"
@@ -17,12 +18,19 @@ import (
 // writeModel fits a small model and saves it to a temp file.
 func writeModel(t *testing.T) string {
 	t.Helper()
-	r := rng.New(1)
+	return writeModelSeed(t, 1)
+}
+
+// writeModelSeed is writeModel with a chosen seed, so two saved models
+// score differently.
+func writeModelSeed(t *testing.T, seed uint64) string {
+	t.Helper()
+	r := rng.New(seed)
 	rows := make([][]float64, 150)
 	for i := range rows {
 		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
 	}
-	m, err := hics.Fit(rows, hics.Options{M: 10, Seed: 1, TopK: 3})
+	m, err := hics.Fit(rows, hics.Options{M: 10, Seed: seed, TopK: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,6 +146,144 @@ func TestGracefulShutdown(t *testing.T) {
 	ln2.Close()
 }
 
+// startServer runs hicsd in a goroutine on a reserved loopback port and
+// waits until /healthz answers with the wanted status.
+func startServer(t *testing.T, args []string, healthyStatus int) (addr string, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr = ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", addr, "-request-timeout", "5s"}, args...))
+	}()
+	url := "http://" + addr + "/healthz"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == healthyStatus {
+				return addr, cancel, done
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before becoming healthy: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// stopServer signals shutdown and waits for a clean exit.
+func stopServer(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after cancellation")
+	}
+}
+
+// scoreOne posts one probe point by model name and returns status + score.
+func scoreOne(t *testing.T, addr, model string) (int, float64) {
+	t.Helper()
+	url := "http://" + addr + "/score"
+	if model != "" {
+		url += "?model=" + model
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(`{"point": [0.3, 0.7, 0.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Score float64 `json:"score"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&sr)
+	return resp.StatusCode, sr.Score
+}
+
+// TestRestartRestoresFleet is the acceptance path for the persisted
+// fleet: start hicsd on an empty models dir, PUT two models, delete one,
+// SIGTERM, restart on the same dir — the surviving model serves again
+// with identical scores and the deleted one stays gone.
+func TestRestartRestoresFleet(t *testing.T) {
+	dir := t.TempDir()
+	addr, cancel, done := startServer(t, []string{"-models-dir", dir}, http.StatusOK)
+
+	put := func(name, modelFile string) {
+		t.Helper()
+		raw, err := os.ReadFile(modelFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, "http://"+addr+"/models/"+name, strings.NewReader(string(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT %s status %d", name, resp.StatusCode)
+		}
+	}
+	put("alpha", writeModel(t))
+	put("beta", writeModelSeed(t, 2))
+
+	status, wantAlpha := scoreOne(t, addr, "alpha")
+	if status != http.StatusOK {
+		t.Fatalf("alpha score status %d", status)
+	}
+	if status, _ := scoreOne(t, addr, "beta"); status != http.StatusOK {
+		t.Fatalf("beta score status %d", status)
+	}
+	req, err := http.NewRequest(http.MethodDelete, "http://"+addr+"/models/beta", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE beta status %d", resp.StatusCode)
+	}
+	stopServer(t, cancel, done)
+
+	// Restart over the same directory: alpha serves bit-identical scores,
+	// beta stays deleted.
+	addr2, cancel2, done2 := startServer(t, []string{"-models-dir", dir}, http.StatusOK)
+	defer stopServer(t, cancel2, done2)
+	status, got := scoreOne(t, addr2, "alpha")
+	if status != http.StatusOK || got != wantAlpha {
+		t.Errorf("restored alpha = %d score %v, want 200 score %v", status, got, wantAlpha)
+	}
+	if status, _ := scoreOne(t, addr2, ""); status != http.StatusOK {
+		t.Errorf("restored default score status %d, want 200 (alpha became default)", status)
+	}
+	if status, _ := scoreOne(t, addr2, "beta"); status != http.StatusNotFound {
+		t.Errorf("deleted beta score status %d after restart, want 404", status)
+	}
+}
+
 // TestRunFlagValidation checks the new execution flags are validated at
 // the command boundary.
 func TestRunFlagValidation(t *testing.T) {
@@ -156,5 +302,8 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-model", model, "-stream-async"}); err == nil || !strings.Contains(err.Error(), "-stream-async") {
 		t.Errorf("-stream-async without cadence: err = %v, want mention of -stream-async", err)
+	}
+	if err := run(context.Background(), []string{"-model", model, "-manifest", "m.json"}); err == nil || !strings.Contains(err.Error(), "-models-dir") {
+		t.Errorf("-manifest without -models-dir: err = %v, want mention of -models-dir", err)
 	}
 }

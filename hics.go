@@ -508,4 +508,4 @@ func FitScorerNames() []string { return registry.FitScorerNames() }
 // truth for version reporting: the hicsd /healthz and /info responses,
 // the `hics -version` and `hicsd -version` flags, and the README all
 // derive from this constant.
-const Version = "1.5.0"
+const Version = "1.6.0"

@@ -1,0 +1,510 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hics"
+	"hics/internal/rng"
+)
+
+// fitModel fits a small model; seed varies the data so two models score
+// differently.
+func fitModel(t *testing.T, seed uint64, n int) *hics.Model {
+	t.Helper()
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		c := 0.3
+		if r.Float64() < 0.5 {
+			c = 0.7
+		}
+		rows[i] = []float64{r.NormalScaled(c, 0.04), r.NormalScaled(c, 0.04), r.Float64()}
+	}
+	m, err := hics.Fit(rows, hics.Options{M: 10, Seed: seed, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// readyFleet constructs an in-memory fleet, restored (ready) and empty.
+func readyFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f := New(cfg)
+	if err := f.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPutAcquireRelease(t *testing.T) {
+	f := readyFleet(t, Config{})
+	m := fitModel(t, 1, 120)
+	if err := f.Put("alpha", m, Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+	// First Put becomes the default; "" resolves to it.
+	for _, name := range []string{"alpha", ""} {
+		h, err := f.Acquire(name, UseRequest)
+		if err != nil {
+			t.Fatalf("Acquire(%q): %v", name, err)
+		}
+		if h.Model() != m {
+			t.Errorf("Acquire(%q) returned a different model", name)
+		}
+		if h.Name() != "alpha" {
+			t.Errorf("Acquire(%q).Name() = %q, want alpha", name, h.Name())
+		}
+		h.Release()
+	}
+	if _, err := f.Acquire("missing", UseMeta); err == nil {
+		t.Error("Acquire(missing) succeeded")
+	} else {
+		var nf *NotFoundError
+		if !errors.As(err, &nf) || nf.Name != "missing" {
+			t.Errorf("Acquire(missing) error = %v, want NotFoundError", err)
+		}
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	f := readyFleet(t, Config{})
+	m := fitModel(t, 1, 120)
+	for _, name := range []string{"", ".hidden", "a/b", "a b", "-x", string(make([]byte, 70))} {
+		if err := f.Put(name, m, Quota{}, false); err == nil {
+			t.Errorf("Put(%q) accepted an invalid name", name)
+		}
+	}
+	if err := f.Put("ok", nil, Quota{}, false); err == nil {
+		t.Error("Put with nil model succeeded")
+	}
+	if err := f.Put("ok", m, Quota{MaxStreams: -1}, false); err == nil {
+		t.Error("Put with negative quota succeeded")
+	}
+}
+
+// TestHotSwapCoherent: replacing a model mid-flight leaves outstanding
+// handles on the old model while new acquires see the new one.
+func TestHotSwapCoherent(t *testing.T) {
+	f := readyFleet(t, Config{})
+	m1 := fitModel(t, 1, 120)
+	m2 := fitModel(t, 2, 120)
+	if err := f.Put("alpha", m1, Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := f.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("alpha", m2, Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Model() != m1 {
+		t.Error("outstanding handle lost its model across the swap")
+	}
+	h2, err := f.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Model() != m2 {
+		t.Error("post-swap acquire did not see the new model")
+	}
+	h1.Release()
+	h2.Release()
+}
+
+func TestQuotaAdmission(t *testing.T) {
+	f := readyFleet(t, Config{})
+	m := fitModel(t, 1, 120)
+	if err := f.Put("alpha", m, Quota{MaxConcurrent: 2, MaxStreams: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := f.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := f.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Acquire("alpha", UseRequest); err == nil {
+		t.Fatal("third concurrent request admitted past MaxConcurrent=2")
+	} else {
+		var qe *QuotaError
+		if !errors.As(err, &qe) || qe.Kind != "request" || qe.Limit != 2 {
+			t.Errorf("quota error = %v, want request/2", err)
+		}
+	}
+	// Meta acquires are never quota-bound.
+	hm, err := f.Acquire("alpha", UseMeta)
+	if err != nil {
+		t.Fatalf("meta acquire rejected: %v", err)
+	}
+	hm.Release()
+	// Streams have their own dimension.
+	hs, err := f.Acquire("alpha", UseStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Acquire("alpha", UseStream); err == nil {
+		t.Error("second stream admitted past MaxStreams=1")
+	}
+	// Releasing frees the slot; double-release must not free two.
+	h1.Release()
+	h1.Release()
+	h3, err := f.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+	if _, err := f.Acquire("alpha", UseRequest); err == nil {
+		t.Error("double-release freed two slots")
+	}
+	st, err := f.ModelStatus("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveRequests != 2 || st.ActiveStreams != 1 {
+		t.Errorf("status active = %d req / %d streams, want 2/1", st.ActiveRequests, st.ActiveStreams)
+	}
+	h2.Release()
+	h3.Release()
+	hs.Release()
+}
+
+// TestDeleteDrains: Delete returns only after outstanding handles are
+// released, and new acquires fail immediately.
+func TestDeleteDrains(t *testing.T) {
+	f := readyFleet(t, Config{})
+	m := fitModel(t, 1, 120)
+	if err := f.Put("alpha", m, Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Delete(context.Background(), "alpha") }()
+
+	// The name disappears promptly even while the handle pins the entry.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h2, err := f.Acquire("alpha", UseRequest)
+		if err != nil {
+			break
+		}
+		h2.Release()
+		if time.Now().After(deadline) {
+			t.Fatal("deleted model still acquirable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Delete returned before the handle drained: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The handle still scores coherently during the drain.
+	if h.Model() != m {
+		t.Error("handle lost its model during delete")
+	}
+	h.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Delete did not return after the last release")
+	}
+	// Deleting the default clears the alias.
+	if d := f.DefaultModel(); d != "" {
+		t.Errorf("default after delete = %q, want empty", d)
+	}
+	if err := f.Delete(context.Background(), "alpha"); err == nil {
+		t.Error("second delete succeeded")
+	}
+}
+
+// TestManifestRoundTrip: a restarted fleet restores from the manifest
+// and serves bit-identical scores.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Dir: dir})
+	if err := f.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mA := fitModel(t, 1, 120)
+	mB := fitModel(t, 2, 150)
+	if err := f.Put("alpha", mA, Quota{MaxStreams: 4}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("beta", mB, Quota{}, true); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.31, 0.69, 0.5}
+	wantA, err := mA.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := mB.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh fleet over the same directory.
+	f2 := New(Config{Dir: dir})
+	if f2.Ready() {
+		t.Error("fleet ready before Restore")
+	}
+	if err := f2.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Ready() {
+		t.Error("fleet not ready after Restore")
+	}
+	if got := f2.DefaultModel(); got != "beta" {
+		t.Errorf("restored default = %q, want beta", got)
+	}
+	for name, want := range map[string]float64{"alpha": wantA, "beta": wantB} {
+		h, err := f2.Acquire(name, UseRequest)
+		if err != nil {
+			t.Fatalf("Acquire(%q) after restore: %v", name, err)
+		}
+		got, err := h.Model().Score(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("restored %q scores %v, want %v (bit-identical)", name, got, want)
+		}
+		h.Release()
+	}
+	st, err := f2.ModelStatus("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quota.MaxStreams != 4 {
+		t.Errorf("restored quota = %+v, want MaxStreams 4", st.Quota)
+	}
+
+	// Delete removes the file and the manifest entry.
+	if err := f2.Delete(context.Background(), "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "alpha.hics")); !os.IsNotExist(err) {
+		t.Errorf("alpha.hics survives delete: %v", err)
+	}
+	f3 := New(Config{Dir: dir})
+	if err := f3.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f3.Acquire("alpha", UseRequest); err == nil {
+		t.Error("deleted model restored from manifest")
+	}
+	if _, err := f3.Acquire("beta", UseRequest); err != nil {
+		t.Errorf("surviving model not restored: %v", err)
+	}
+}
+
+// TestRestoreFailedEntry: a manifest entry whose file is corrupt leaves
+// a failed entry naming the error; the rest of the fleet serves.
+func TestRestoreFailedEntry(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Dir: dir})
+	if err := f.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("good", fitModel(t, 1, 120), Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("bad", fitModel(t, 2, 120), Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.hics"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := New(Config{Dir: dir})
+	if err := f2.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Acquire("good", UseRequest); err != nil {
+		t.Errorf("good model: %v", err)
+	}
+	_, err := f2.Acquire("bad", UseRequest)
+	var nr *NotReadyError
+	if !errors.As(err, &nr) || nr.State != StateFailed {
+		t.Errorf("bad model error = %v, want NotReadyError(failed)", err)
+	}
+	var st ModelStatus
+	for _, s := range f2.Status() {
+		if s.Name == "bad" {
+			st = s
+		}
+	}
+	if st.State != StateFailed || st.Error == "" {
+		t.Errorf("bad model status = %+v, want failed with error text", st)
+	}
+}
+
+// TestRestoreCorruptManifest: a malformed manifest errors but still
+// marks the fleet ready (empty), so the server is not wedged.
+func TestRestoreCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Dir: dir})
+	if err := f.Restore(context.Background()); err == nil {
+		t.Error("corrupt manifest did not error")
+	}
+	if !f.Ready() {
+		t.Error("fleet not ready after failed restore")
+	}
+}
+
+// TestRestoreSkipsExistingNames: a model loaded explicitly before
+// Restore wins over its manifest entry.
+func TestRestoreSkipsExistingNames(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Dir: dir})
+	if err := f.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("alpha", fitModel(t, 1, 120), Quota{}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := New(Config{Dir: dir})
+	fresh := fitModel(t, 9, 80)
+	if err := f2.Put("alpha", fresh, Quota{}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f2.Acquire("alpha", UseRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Model() != fresh {
+		t.Error("manifest restore overwrote an explicitly loaded model")
+	}
+}
+
+// TestManifestFormat pins the on-disk JSON shape operators script
+// against.
+func TestManifestFormat(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Dir: dir})
+	if err := f.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("alpha", fitModel(t, 1, 120), Quota{MaxConcurrent: 8}, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf struct {
+		Version int    `json:"version"`
+		Default string `json:"default"`
+		Models  []struct {
+			Name  string `json:"name"`
+			File  string `json:"file"`
+			Quota Quota  `json:"quota"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		t.Fatalf("manifest is not JSON: %v\n%s", err, raw)
+	}
+	if mf.Version != 1 || mf.Default != "alpha" || len(mf.Models) != 1 {
+		t.Errorf("manifest = %+v", mf)
+	}
+	if m := mf.Models[0]; m.Name != "alpha" || m.File != "alpha.hics" || m.Quota.MaxConcurrent != 8 {
+		t.Errorf("manifest entry = %+v", mf.Models[0])
+	}
+}
+
+// TestConcurrentSwapAndAcquire hammers Acquire/score during repeated
+// hot swaps under the race detector: every handle scores with a
+// coherent model (one of the two planted values, never torn).
+func TestConcurrentSwapAndAcquire(t *testing.T) {
+	f := readyFleet(t, Config{})
+	m1 := fitModel(t, 1, 120)
+	m2 := fitModel(t, 2, 120)
+	probe := []float64{0.31, 0.69, 0.5}
+	want1, err := m1.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := m2.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want1 == want2 {
+		t.Fatal("test models score identically; pick different seeds")
+	}
+	if err := f.Put("alpha", m1, Quota{}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var swaps sync.WaitGroup
+	swaps.Add(1)
+	go func() {
+		defer swaps.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := m1
+			if i%2 == 1 {
+				m = m2
+			}
+			if err := f.Put("alpha", m, Quota{}, false); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 200; i++ {
+				h, err := f.Acquire("alpha", UseRequest)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				got, err := h.Model().Score(probe)
+				h.Release()
+				if err != nil {
+					t.Errorf("score: %v", err)
+					return
+				}
+				if got != want1 && got != want2 {
+					t.Errorf("torn score %v, want %v or %v", got, want1, want2)
+					return
+				}
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	swaps.Wait()
+}

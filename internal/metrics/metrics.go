@@ -126,6 +126,29 @@ func (r *Registry) register(desc Desc, buckets []float64) *family {
 	return f
 }
 
+// delete drops the series for the given label values, so a scrape no
+// longer carries it. Used when the labelled object (e.g. a fleet model)
+// is unloaded; deleting a nonexistent series is a no-op.
+func (f *family) delete(values ...string) {
+	if len(values) != len(f.desc.Labels) {
+		panic(fmt.Sprintf("metrics: %q takes %d label values, got %d",
+			f.desc.Name, len(f.desc.Labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // get returns (creating if needed) the series for the given label values.
 func (f *family) get(values ...string) *series {
 	if len(values) != len(f.desc.Labels) {
@@ -186,6 +209,10 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 // series on first use.
 func (v *CounterVec) With(values ...string) *Counter { return &Counter{s: v.f.get(values...)} }
 
+// Delete drops the series for the given label values from the scrape;
+// a subsequent With recreates it at zero.
+func (v *CounterVec) Delete(values ...string) { v.f.delete(values...) }
+
 // Total sums the family across all label values — the expvar
 // compatibility view aggregates per-endpoint counters this way.
 func (v *CounterVec) Total() int64 {
@@ -223,6 +250,38 @@ func (g *Gauge) Add(delta float64) {
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// GaugeVec is a gauge family partitioned by a fixed label set (e.g. one
+// series per served model).
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: gauge vec %q needs at least one label (use NewGauge)", name))
+	}
+	return &GaugeVec{f: r.register(Desc{Name: name, Kind: "gauge", Help: help, Labels: labels}, nil)}
+}
+
+// With returns the gauge for the given label values, creating the series
+// on first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{s: v.f.get(values...)} }
+
+// Delete drops the series for the given label values from the scrape;
+// a subsequent With recreates it at zero.
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(values...) }
+
+// Total sums the family across all label values — the expvar
+// compatibility view aggregates per-model gauges this way.
+func (v *GaugeVec) Total() float64 {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	var sum float64
+	for _, s := range v.f.series {
+		sum += math.Float64frombits(s.bits.Load())
+	}
+	return sum
+}
 
 // Histogram accumulates observations into cumulative fixed buckets plus
 // a running sum and count.

@@ -49,6 +49,63 @@ func TestCounterVec(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("streams_active", "open streams", "model")
+	v.With("alpha").Add(2)
+	v.With("beta").Set(3)
+	v.With("alpha").Add(-1)
+	if got := v.With("alpha").Value(); got != 1 {
+		t.Errorf(`With("alpha") = %v, want 1`, got)
+	}
+	if got := v.Total(); got != 4 {
+		t.Errorf("Total() = %v, want 4", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, line := range []string{
+		"# TYPE streams_active gauge",
+		`streams_active{model="alpha"} 1`,
+		`streams_active{model="beta"} 3`,
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("output missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+func TestVecDelete(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("model_subspaces", "", "model")
+	c := r.NewCounterVec("model_requests_total", "", "model")
+	g.With("alpha").Set(5)
+	g.With("beta").Set(7)
+	c.With("alpha").Add(3)
+
+	g.Delete("alpha")
+	c.Delete("alpha")
+	g.Delete("missing") // no-op
+
+	if got := g.Total(); got != 7 {
+		t.Errorf("gauge Total() after delete = %v, want 7", got)
+	}
+	if got := c.Total(); got != 0 {
+		t.Errorf("counter Total() after delete = %d, want 0", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), `model="alpha"`) {
+		t.Errorf("deleted series still rendered:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `model_subspaces{model="beta"} 7`) {
+		t.Errorf("surviving series missing:\n%s", b.String())
+	}
+	// A recreated series starts from zero.
+	if got := g.With("alpha").Value(); got != 0 {
+		t.Errorf("recreated series = %v, want 0", got)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10})

@@ -84,10 +84,10 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// Per-endpoint request counters and latency histograms moved for both
 	// driven endpoints.
-	if d := delta(`hicsd_http_requests_total{endpoint="score",code="200"}`); d < 1 {
+	if d := delta(`hicsd_http_requests_total{endpoint="score",code="200",model="default"}`); d < 1 {
 		t.Errorf("score request counter moved by %v, want >= 1", d)
 	}
-	if d := delta(`hicsd_http_requests_total{endpoint="stream",code="200"}`); d < 1 {
+	if d := delta(`hicsd_http_requests_total{endpoint="stream",code="200",model="default"}`); d < 1 {
 		t.Errorf("stream request counter moved by %v, want >= 1", d)
 	}
 	for _, endpoint := range []string{"score", "stream"} {
@@ -106,7 +106,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Stream/refit instrumentation: the serve-side refit counter and the
 	// detector-level series (45 rows, window 30, refit every 15 => 2
 	// refits past warmup).
-	if d := delta("hicsd_stream_refits_total"); d < 1 {
+	if d := delta(`hicsd_stream_refits_total{model="default"}`); d < 1 {
 		t.Errorf("serve refit counter moved by %v, want >= 1", d)
 	}
 	if d := delta(`hics_stream_refits_total{mode="sync"}`); d < 1 {
@@ -118,7 +118,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if d := delta("hics_stream_rows_total"); d < float64(len(rows)) {
 		t.Errorf("stream rows moved by %v, want >= %d", d, len(rows))
 	}
-	if got := after["hicsd_streams_active"]; got != 0 {
+	if got := after[`hicsd_streams_active{model="default"}`]; got != 0 {
 		t.Errorf("hicsd_streams_active = %v with no open session, want 0", got)
 	}
 
@@ -127,11 +127,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("parallel fan-out counter moved by %v, want >= 1", d)
 	}
 
-	// Model metadata gauges reflect the served model.
-	if got, want := after["hicsd_model_subspaces"], float64(len(m.Subspaces())); got != want {
+	// Model metadata gauges reflect the served model, per fleet name.
+	if got, want := after[`hicsd_model_subspaces{model="default"}`], float64(len(m.Subspaces())); got != want {
 		t.Errorf("hicsd_model_subspaces = %v, want %v", got, want)
 	}
-	if got, want := after["hicsd_model_format_version"], float64(m.FormatVersion()); got != want {
+	if got, want := after[`hicsd_model_format_version{model="default"}`], float64(m.FormatVersion()); got != want {
 		t.Errorf("hicsd_model_format_version = %v, want %v", got, want)
 	}
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -12,37 +13,41 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"hics"
+	"hics/internal/fleet"
 	"hics/internal/metrics"
 )
 
 // Instrumentation, registered once into the process-wide metrics
 // registry and served by GET /metrics in Prometheus text format. The
 // series are process-global (like the expvar counters they supersede),
-// so multiple handlers share them; tests assert on deltas. GET
+// so multiple handlers share them; tests assert on deltas. Families
+// touching a model carry its fleet name in the "model" label (empty for
+// traffic that never resolved one — 404s, /metrics itself). GET
 // /debug/vars stays available as a thin compatibility view over the
 // same registry — see debugVars.
 var (
 	mRequests = metrics.Default.NewCounterVec("hicsd_http_requests_total",
-		"Completed HTTP requests by endpoint and status code.",
-		"endpoint", "code")
+		"Completed HTTP requests by endpoint, status code and resolved model (empty when the request did not resolve one).",
+		"endpoint", "code", "model")
 	mDuration = metrics.Default.NewHistogramVec("hicsd_http_request_duration_seconds",
 		"Wall time of completed HTTP requests by endpoint (a /stream session counts once, at close).",
 		nil, "endpoint")
 	mErrors = metrics.Default.NewCounter("hicsd_http_errors_total",
 		"Error responses (status >= 400) plus terminal NDJSON stream error records.")
-	mActiveStreams = metrics.Default.NewGauge("hicsd_streams_active",
-		"Currently open /stream sessions.")
-	mRefits = metrics.Default.NewCounter("hicsd_stream_refits_total",
-		"Model refits observed by /stream sessions (CLI and library streams count in hics_stream_refits_total instead).")
+	mActiveStreams = metrics.Default.NewGaugeVec("hicsd_streams_active",
+		"Currently open /stream sessions per model.", "model")
+	mRefits = metrics.Default.NewCounterVec("hicsd_stream_refits_total",
+		"Model refits observed by /stream sessions per model (CLI and library streams count in hics_stream_refits_total instead).",
+		"model")
+	mRejected = metrics.Default.NewCounterVec("hicsd_admission_rejected_total",
+		"Requests rejected with 429 by a model's admission quota, by model and quota dimension (request or stream).",
+		"model", "kind")
 	mLastScoreLat = metrics.Default.NewGauge("hicsd_last_score_latency_seconds",
 		"Wall time of the latest scoring call (/score request or /stream row).")
-	mModelSubspaces = metrics.Default.NewGauge("hicsd_model_subspaces",
-		"Frozen subspace projections of the served model.")
-	mModelFormatVersion = metrics.Default.NewGauge("hicsd_model_format_version",
-		"Persistence format version the served model was loaded from.")
 )
 
 // endpoints maps request paths onto the bounded endpoint label set; any
@@ -54,6 +59,7 @@ var endpoints = map[string]string{
 	"/score":      "score",
 	"/rank":       "rank",
 	"/stream":     "stream",
+	"/models":     "models",
 	"/metrics":    "metrics",
 	"/debug/vars": "debug_vars",
 }
@@ -62,25 +68,37 @@ func endpointLabel(path string) string {
 	if e, ok := endpoints[path]; ok {
 		return e
 	}
+	if strings.HasPrefix(path, "/models/") {
+		return "models"
+	}
 	return "other"
 }
 
-// Config wires the handler: the served model plus the per-request
-// execution policy.
+// Config wires the handler: the model fleet behind it plus the
+// per-request execution policy.
 type Config struct {
-	// Model is the trained model behind /score, /healthz and /info.
+	// Fleet is the named-model store behind every endpoint. When nil, an
+	// in-memory single-model fleet is built around Model — the pre-fleet
+	// configuration surface keeps working unchanged.
+	Fleet *fleet.Fleet
+	// Model seeds the fleet under the default name when Fleet is nil.
 	Model *hics.Model
+	// AdminToken, when set, locks the mutating model-management endpoints
+	// (PUT/DELETE /models/{name}) behind "Authorization: Bearer <token>".
+	// Empty leaves them open (suitable behind a trusted control plane).
+	AdminToken string
 	// RequestTimeout bounds the server-side compute of each /score and
 	// /rank request; 0 imposes no deadline beyond the client's own
 	// patience (a disconnect still cancels the work).
 	RequestTimeout time.Duration
 	// RankWorkers caps the parallelism of /rank rankings and /stream
-	// refits (0 = one worker per CPU). Batch /score parallelism is
-	// bounded on the model itself via Model.SetWorkers.
+	// refits (0 = one worker per CPU); a model quota's Workers bound
+	// overrides it per model. Batch /score parallelism is bounded on the
+	// model itself via Model.SetWorkers.
 	RankWorkers int
 	// StreamWindow is the default sliding-window size of /stream sessions
-	// (0 = the served model's training-set size). Clients may override
-	// per request with ?window=N.
+	// (0 = the routed model's training-set size — resolved per model, not
+	// per server). Clients may override per request with ?window=N.
 	StreamWindow int
 	// StreamRefitEvery is the default refit cadence of /stream sessions
 	// in arrivals (0 = never refit). Clients may override with
@@ -111,7 +129,23 @@ type ctxKey int
 const (
 	requestIDKey ctxKey = iota
 	loggerKey
+	requestInfoKey
 )
+
+// requestInfo is the middleware's per-request scratch record: handlers
+// fill in the resolved model name so the middleware can label the
+// request counter after ServeHTTP returns (same goroutine, no race).
+type requestInfo struct {
+	model string
+}
+
+// setRequestModel records the model a handler resolved, for metric
+// labelling. No-op outside the middleware.
+func setRequestModel(ctx context.Context, name string) {
+	if ri, ok := ctx.Value(requestInfoKey).(*requestInfo); ok {
+		ri.model = name
+	}
+}
 
 // RequestID returns the request's generated ID, or "" outside a request
 // context.
@@ -194,7 +228,8 @@ type batchResponse struct {
 // RankOptions is the JSON mirror of the hics.Options fields a /rank
 // request may set; zero values select the library defaults. The worker
 // bound is deliberately absent — parallelism is the server's admission
-// decision (Config.RankWorkers), not the client's.
+// decision (Config.RankWorkers, or the routed model's quota), not the
+// client's.
 type RankOptions struct {
 	M               int     `json:"m,omitempty"`
 	Alpha           float64 `json:"alpha,omitempty"`
@@ -250,18 +285,33 @@ type RankResponse struct {
 	Subspaces []RankSubspace `json:"subspaces"`
 }
 
-// Health is the /healthz response body.
+// ModelHealth is one model's load state in the /healthz response.
+type ModelHealth struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+	Default bool   `json:"default"`
+}
+
+// Health is the /healthz response body. The flat Objects / Attributes /
+// Subspaces fields describe the default model (zero when none is
+// configured); Models lists the load state of every model in the fleet.
+// While the manifest restore is in flight the status is "starting" and
+// the response code 503, so orchestrators do not route to a cold fleet.
 type Health struct {
-	Status     string `json:"status"`
-	Objects    int    `json:"objects"`
-	Attributes int    `json:"attributes"`
-	Subspaces  int    `json:"subspaces"`
-	Version    string `json:"version"`
+	Status     string        `json:"status"`
+	Objects    int           `json:"objects"`
+	Attributes int           `json:"attributes"`
+	Subspaces  int           `json:"subspaces"`
+	Version    string        `json:"version"`
+	Models     []ModelHealth `json:"models,omitempty"`
 }
 
 // Info is the /info response body: the method pair the served model was
 // fitted with and the shape of its frozen state.
 type Info struct {
+	// Model is the fleet name the request resolved to.
+	Model string `json:"model"`
 	// Search and Scorer are the registry names of the model's method pair.
 	Search string `json:"search"`
 	Scorer string `json:"scorer"`
@@ -274,6 +324,15 @@ type Info struct {
 	Version       string `json:"version"`
 	// Server is the full server version string ("hicsd/<version>").
 	Server string `json:"server"`
+}
+
+// ModelsResponse is the GET /models response body.
+type ModelsResponse struct {
+	// Ready reports whether the startup manifest restore has completed.
+	Ready bool `json:"ready"`
+	// Default is the model unnamed requests route to ("" when unset).
+	Default string              `json:"default"`
+	Models  []fleet.ModelStatus `json:"models"`
 }
 
 // StreamRecord is one /stream response line: the arrival index of the
@@ -292,7 +351,7 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// maxRequestBytes bounds a /score, /rank or /stream body; a
+// maxRequestBytes bounds a /score, /rank, /stream or model-upload body; a
 // million-point batch is a mistake, not a query. For /stream it caps the
 // cumulative session input — an exhausted stream ends with an explicit
 // error record naming this limit.
@@ -305,129 +364,57 @@ func NewHandler(m *hics.Model) http.Handler {
 	return New(Config{Model: m})
 }
 
+// server binds the configuration to its resolved fleet.
+type server struct {
+	cfg Config
+	fl  *fleet.Fleet
+}
+
 // New returns the hicsd HTTP handler for the given configuration.
 func New(cfg Config) http.Handler {
-	m := cfg.Model
+	fl := cfg.Fleet
+	if fl == nil {
+		// Pre-fleet surface: a single in-memory model under the default
+		// name. Restore of an in-memory fleet is instant and marks it
+		// ready.
+		fl = fleet.New(fleet.Config{Logger: cfg.Logger})
+		_ = fl.Restore(context.Background())
+		if cfg.Model != nil {
+			if err := fl.Put(fleet.DefaultName, cfg.Model, fleet.Quota{}, true); err != nil {
+				panic("serve: seeding single-model fleet: " + err.Error())
+			}
+		}
+	}
+	s := &server{cfg: cfg, fl: fl}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, Health{
-			Status:     "ok",
-			Objects:    m.N(),
-			Attributes: m.D(),
-			Subspaces:  len(m.Subspaces()),
-			Version:    hics.Version,
-		})
-	})
-	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
-			return
-		}
-		writeJSON(w, http.StatusOK, Info{
-			Search:        m.SearchMethod(),
-			Scorer:        m.ScorerMethod(),
-			Subspaces:     len(m.Subspaces()),
-			FormatVersion: m.FormatVersion(),
-			Objects:       m.N(),
-			Attributes:    m.D(),
-			Version:       hics.Version,
-			Server:        ServerVersion,
-		})
-	})
-	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-			return
-		}
-		var req ScoreRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request: %v", err)})
-			return
-		}
-		switch {
-		case req.Point != nil && req.Points != nil:
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set exactly one of "point" and "points"`})
-		case req.Point != nil:
-			start := time.Now()
-			s, err := m.Score(req.Point)
-			if err != nil {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-				return
-			}
-			mLastScoreLat.Set(time.Since(start).Seconds())
-			writeJSON(w, http.StatusOK, pointResponse{Score: s})
-		case req.Points != nil:
-			ctx, cancel := cfg.requestContext(r)
-			defer cancel()
-			start := time.Now()
-			scores, err := m.ScoreBatchContext(ctx, req.Points)
-			if err != nil {
-				writeComputeError(w, err)
-				return
-			}
-			mLastScoreLat.Set(time.Since(start).Seconds())
-			if scores == nil {
-				scores = []float64{}
-			}
-			writeJSON(w, http.StatusOK, batchResponse{Scores: scores})
-		default:
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set "point" or "points"`})
-		}
-	})
-	mux.HandleFunc("/rank", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-			return
-		}
-		var req RankRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request: %v", err)})
-			return
-		}
-		if len(req.Rows) == 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"rows" must hold at least one row`})
-			return
-		}
-		ctx, cancel := cfg.requestContext(r)
-		defer cancel()
-		res, err := hics.RankContext(ctx, req.Rows, req.Options.options(cfg.RankWorkers))
-		if err != nil {
-			writeComputeError(w, err)
-			return
-		}
-		resp := RankResponse{Scores: res.Scores, Subspaces: make([]RankSubspace, len(res.Subspaces))}
-		for i, s := range res.Subspaces {
-			resp.Subspaces[i] = RankSubspace{Dims: s.Dims, Contrast: s.Contrast}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("/stream", cfg.handleStream)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/score", s.handleScore)
+	mux.HandleFunc("/rank", s.handleRank)
+	mux.HandleFunc("/stream", s.handleStream)
+	mux.HandleFunc("GET /models", s.handleModelsList)
+	mux.HandleFunc("GET /models/{name}", s.handleModelGet)
+	mux.HandleFunc("PUT /models/{name}", s.handleModelPut)
+	mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
 	mux.Handle("/metrics", metrics.Default.Handler())
 	mux.HandleFunc("/debug/vars", debugVars)
-	// The served model's metadata as gauges; a process serves one model,
-	// so the last-constructed handler wins (tests constructing throwaway
-	// handlers share the process-global registry, like expvar before).
-	mModelSubspaces.Set(float64(len(m.Subspaces())))
-	mModelFormatVersion.Set(float64(m.FormatVersion()))
 
 	// Observability middleware wraps the whole mux so every endpoint —
 	// including 404s — is counted, timed and logged. Each request gets a
 	// random ID, carried in the context (RequestID) and on the
 	// request-scoped logger, so endpoint events — including async refit
-	// goroutines outliving their /stream push — stay attributable.
+	// goroutines outliving their /stream push — stay attributable. The
+	// handler reports its resolved model through the shared requestInfo,
+	// read back here after ServeHTTP returns on the same goroutine.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := newRequestID()
 		log := cfg.logger().With("request_id", id)
+		ri := &requestInfo{}
 		ctx := context.WithValue(r.Context(), requestIDKey, id)
 		ctx = context.WithValue(ctx, loggerKey, log)
+		ctx = context.WithValue(ctx, requestInfoKey, ri)
 		sw := &statusWriter{ResponseWriter: w}
 		mux.ServeHTTP(sw, r.WithContext(ctx))
 		status := sw.status
@@ -438,12 +425,348 @@ func New(cfg Config) http.Handler {
 		}
 		endpoint := endpointLabel(r.URL.Path)
 		elapsed := time.Since(start)
-		mRequests.With(endpoint, strconv.Itoa(status)).Inc()
+		mRequests.With(endpoint, strconv.Itoa(status), ri.model).Inc()
 		mDuration.With(endpoint).Observe(elapsed.Seconds())
 		log.Info("request",
 			"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
-			"status", status, "duration", elapsed)
+			"status", status, "duration", elapsed, "model", ri.model)
 	})
+}
+
+// labelRoutedModel pre-labels an unnamed routed request with the
+// "default" alias so a request rejected before model resolution (a
+// malformed body, say) still lands on a bounded metric series instead
+// of model="". Named requests stay unlabeled until acquire resolves
+// them — raw ?model= values are client-controlled and must not mint
+// series.
+func labelRoutedModel(r *http.Request) {
+	if r.URL.Query().Get("model") == "" {
+		setRequestModel(r.Context(), fleet.DefaultName)
+	}
+}
+
+// acquire resolves the request's model — the ?model= query parameter,
+// defaulting to the fleet's default model — into a Handle, writing the
+// error response itself when resolution fails. Callers must Release the
+// returned handle.
+func (s *server) acquire(w http.ResponseWriter, r *http.Request, use fleet.Use) (*fleet.Handle, bool) {
+	name := r.URL.Query().Get("model")
+	h, err := s.fl.Acquire(name, use)
+	if err != nil {
+		var (
+			nf *fleet.NotFoundError
+			nr *fleet.NotReadyError
+			qe *fleet.QuotaError
+		)
+		switch {
+		case errors.As(err, &qe):
+			setRequestModel(r.Context(), qe.Name)
+			mRejected.With(qe.Name, qe.Kind).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		case errors.As(err, &nr):
+			setRequestModel(r.Context(), nr.Name)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.As(err, &nf):
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return nil, false
+	}
+	setRequestModel(r.Context(), h.Name())
+	return h, true
+}
+
+// handleHealthz is the liveness + readiness probe: 503 with status
+// "starting" while the manifest restore is in flight, 200 afterwards
+// with the per-model load states ("degraded" when any model is not
+// ready). The flat fields describe the default model for compatibility
+// with the single-model era.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", Version: hics.Version}
+	for _, st := range s.fl.Status() {
+		h.Models = append(h.Models, ModelHealth{
+			Name: st.Name, State: st.State, Error: st.Error, Default: st.Default,
+		})
+		if st.State != fleet.StateReady {
+			h.Status = "degraded"
+		}
+		if st.Default && st.State == fleet.StateReady {
+			h.Objects = st.Objects
+			h.Attributes = st.Attributes
+			h.Subspaces = st.Subspaces
+		}
+	}
+	if !s.fl.Ready() {
+		h.Status = "starting"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	h, ok := s.acquire(w, r, fleet.UseMeta)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	m := h.Model()
+	writeJSON(w, http.StatusOK, Info{
+		Model:         h.Name(),
+		Search:        m.SearchMethod(),
+		Scorer:        m.ScorerMethod(),
+		Subspaces:     len(m.Subspaces()),
+		FormatVersion: m.FormatVersion(),
+		Objects:       m.N(),
+		Attributes:    m.D(),
+		Version:       hics.Version,
+		Server:        ServerVersion,
+	})
+}
+
+func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	labelRoutedModel(r)
+	var req ScoreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request: %v", err)})
+		return
+	}
+	h, ok := s.acquire(w, r, fleet.UseRequest)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	m := h.Model()
+	switch {
+	case req.Point != nil && req.Points != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set exactly one of "point" and "points"`})
+	case req.Point != nil:
+		start := time.Now()
+		s, err := m.Score(req.Point)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		mLastScoreLat.Set(time.Since(start).Seconds())
+		writeJSON(w, http.StatusOK, pointResponse{Score: s})
+	case req.Points != nil:
+		ctx, cancel := s.cfg.requestContext(r)
+		defer cancel()
+		start := time.Now()
+		scores, err := m.ScoreBatchContext(ctx, req.Points)
+		if err != nil {
+			writeComputeError(w, err)
+			return
+		}
+		mLastScoreLat.Set(time.Since(start).Seconds())
+		if scores == nil {
+			scores = []float64{}
+		}
+		writeJSON(w, http.StatusOK, batchResponse{Scores: scores})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `set "point" or "points"`})
+	}
+}
+
+// handleRank fits fresh HiCS rankings over the posted rows. The request
+// still routes through a fleet model for admission — its request quota
+// and worker bound govern the ranking — so multi-tenant fairness holds
+// across every compute endpoint.
+func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	labelRoutedModel(r)
+	var req RankRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request: %v", err)})
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"rows" must hold at least one row`})
+		return
+	}
+	h, ok := s.acquire(w, r, fleet.UseRequest)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	ctx, cancel := s.cfg.requestContext(r)
+	defer cancel()
+	res, err := hics.RankContext(ctx, req.Rows, req.Options.options(h.Workers(s.cfg.RankWorkers)))
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	resp := RankResponse{Scores: res.Scores, Subspaces: make([]RankSubspace, len(res.Subspaces))}
+	for i, sp := range res.Subspaces {
+		resp.Subspaces[i] = RankSubspace{Dims: sp.Dims, Contrast: sp.Contrast}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// authorized checks the management bearer token. Always true when no
+// token is configured.
+func (s *server) authorized(r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		return true
+	}
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) < len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.cfg.AdminToken)) == 1
+}
+
+func writeUnauthorized(w http.ResponseWriter) {
+	w.Header().Set("WWW-Authenticate", `Bearer realm="hicsd model management"`)
+	writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "management endpoints require a bearer token"})
+}
+
+// handleModelsList is GET /models: the whole fleet, readiness included.
+func (s *server) handleModelsList(w http.ResponseWriter, r *http.Request) {
+	sts := s.fl.Status()
+	if sts == nil {
+		sts = []fleet.ModelStatus{}
+	}
+	writeJSON(w, http.StatusOK, ModelsResponse{
+		Ready:   s.fl.Ready(),
+		Default: s.fl.DefaultModel(),
+		Models:  sts,
+	})
+}
+
+// handleModelGet is GET /models/{name}: one model's status.
+func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	setRequestModel(r.Context(), name)
+	st, err := s.fl.ModelStatus(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleModelPut is PUT /models/{name}: the body is a saved model in the
+// hics persistence format (as written by Model.Save / hics -fit -save);
+// query parameters set the admission quota (max_concurrent, max_streams,
+// workers) and default=true routes unnamed requests here. Loading an
+// existing name hot-swaps it atomically: in-flight requests finish on
+// the old model, new requests see the new one.
+func (s *server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		writeUnauthorized(w)
+		return
+	}
+	name := r.PathValue("name")
+	setRequestModel(r.Context(), name)
+	if !fleet.ValidName(name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("invalid model name %q (want 1-64 chars of [a-zA-Z0-9_.-], starting alphanumeric)", name)})
+		return
+	}
+	q, makeDefault, err := quotaParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	m, err := hics.LoadModel(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model body: %v", err)})
+		return
+	}
+	if err := s.fl.Put(name, m, q, makeDefault); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	ctxLogger(r.Context()).Info("model loaded", "model", name, "default", makeDefault,
+		"objects", m.N(), "attributes", m.D())
+	st, err := s.fl.ModelStatus(name)
+	if err != nil {
+		// Deleted between Put and Status; report what was loaded.
+		writeJSON(w, http.StatusOK, fleet.ModelStatus{Name: name, State: fleet.StateReady})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleModelDelete is DELETE /models/{name}: the name 404s immediately
+// for new requests while in-flight ones drain (bounded by the request's
+// context and the server's request timeout), then the persisted file is
+// removed.
+func (s *server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		writeUnauthorized(w)
+		return
+	}
+	name := r.PathValue("name")
+	setRequestModel(r.Context(), name)
+	ctx, cancel := s.cfg.requestContext(r)
+	defer cancel()
+	if err := s.fl.Delete(ctx, name); err != nil {
+		var nf *fleet.NotFoundError
+		if errors.As(err, &nf) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	ctxLogger(r.Context()).Info("model unloaded", "model", name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// quotaParams parses the PUT /models/{name} quota query parameters.
+func quotaParams(r *http.Request) (fleet.Quota, bool, error) {
+	var q fleet.Quota
+	var makeDefault bool
+	qs := r.URL.Query()
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"max_concurrent", &q.MaxConcurrent},
+		{"max_streams", &q.MaxStreams},
+		{"workers", &q.Workers},
+	} {
+		s := qs.Get(p.name)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return q, false, fmt.Errorf("query parameter %s: %q is not a non-negative integer", p.name, s)
+		}
+		*p.dst = v
+	}
+	if s := qs.Get("default"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return q, false, fmt.Errorf("query parameter default: %q is not a boolean", s)
+		}
+		makeDefault = v
+	}
+	return q, makeDefault, nil
 }
 
 // debugVars is the /debug/vars compatibility view: the standard expvar
@@ -451,7 +774,8 @@ func New(cfg Config) http.Handler {
 // "hicsd" map re-derived from the metrics registry, so the two surfaces
 // can never disagree. The map keys and units are unchanged from the
 // expvar era: requests, errors, active_streams, refits,
-// last_score_latency_ms.
+// last_score_latency_ms — model-labelled families are summed across
+// models.
 func debugVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\n")
@@ -466,8 +790,8 @@ func debugVars(w http.ResponseWriter, r *http.Request) {
 	hicsd, _ := json.Marshal(map[string]any{
 		"requests":              mRequests.Total(),
 		"errors":                mErrors.Value(),
-		"active_streams":        int64(mActiveStreams.Value()),
-		"refits":                mRefits.Value(),
+		"active_streams":        int64(mActiveStreams.Total()),
+		"refits":                mRefits.Total(),
 		"last_score_latency_ms": mLastScoreLat.Value() * 1e3,
 	})
 	writeVar("hicsd", string(hicsd))
@@ -479,16 +803,17 @@ func debugVars(w http.ResponseWriter, r *http.Request) {
 
 // streamOptions resolves a /stream request's detector options: the
 // server-configured defaults overridden by the window / refit_every /
-// async query parameters.
-func (cfg Config) streamOptions(r *http.Request) (hics.StreamOptions, error) {
+// async query parameters. A zero window derives from the routed model's
+// training-set size — per model, not per server.
+func (s *server) streamOptions(r *http.Request, m *hics.Model, workers int) (hics.StreamOptions, error) {
 	sopts := hics.StreamOptions{
-		Window:     cfg.StreamWindow,
-		RefitEvery: cfg.StreamRefitEvery,
-		Async:      cfg.StreamAsync,
-		Workers:    cfg.RankWorkers,
+		Window:     s.cfg.StreamWindow,
+		RefitEvery: s.cfg.StreamRefitEvery,
+		Async:      s.cfg.StreamAsync,
+		Workers:    workers,
 	}
 	if sopts.Window == 0 {
-		sopts.Window = cfg.Model.N()
+		sopts.Window = m.N()
 	}
 	q := r.URL.Query()
 	if s := q.Get("window"); s != "" {
@@ -517,17 +842,27 @@ func (cfg Config) streamOptions(r *http.Request) (hics.StreamOptions, error) {
 
 // handleStream is POST /stream: NDJSON in (one JSON array of numbers per
 // line), NDJSON out (one StreamRecord per scored row, flushed per line).
-// The stream wraps the served model warm — rows score immediately — and
+// The stream wraps the routed model warm — rows score immediately — and
 // optionally refits over its sliding window per the resolved options.
-// The request context governs everything: a client disconnect or an
-// exceeded RequestTimeout cancels in-flight scoring and refits.
-func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
+// The session holds its model handle until it closes, so a hot swap or
+// unload never tears a running stream: it keeps scoring against the
+// model snapshot it opened with. The request context governs
+// everything: a client disconnect or an exceeded RequestTimeout cancels
+// in-flight scoring and refits.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
-	sopts, err := cfg.streamOptions(r)
+	labelRoutedModel(r)
+	h, ok := s.acquire(w, r, fleet.UseStream)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	m := h.Model()
+	sopts, err := s.streamOptions(r, m, h.Workers(s.cfg.RankWorkers))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -537,18 +872,19 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 	// request ID.
 	log := ctxLogger(r.Context())
 	sopts.Logger = log
-	st, err := cfg.Model.NewStream(sopts)
+	st, err := m.NewStream(sopts)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	defer st.Close()
-	ctx, cancel := cfg.requestContext(r)
+	ctx, cancel := s.cfg.requestContext(r)
 	defer cancel()
-	mActiveStreams.Add(1)
-	defer mActiveStreams.Add(-1)
+	model := h.Name()
+	mActiveStreams.With(model).Add(1)
+	defer mActiveStreams.With(model).Add(-1)
 	defer func() {
-		log.Debug("stream session closed", "rows", st.Seen(), "refits", st.Refits(),
+		log.Debug("stream session closed", "model", model, "rows", st.Seen(), "refits", st.Refits(),
 			"window", sopts.Window, "refit_every", sopts.RefitEvery, "async", sopts.Async)
 	}()
 
@@ -581,7 +917,7 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 				writeStreamError(w, rc, fmt.Errorf("stream input exceeded the %d-byte session limit; reconnect to continue", tooLarge.Limit))
 				return
 			}
-			writeStreamError(w, rc, fmt.Errorf("invalid row: %v (want one JSON array of %d numbers per line)", err, cfg.Model.D()))
+			writeStreamError(w, rc, fmt.Errorf("invalid row: %v (want one JSON array of %d numbers per line)", err, m.D()))
 			return
 		}
 		start := time.Now()
@@ -592,7 +928,7 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		mLastScoreLat.Set(time.Since(start).Seconds())
 		if n := st.Refits(); n > refitsSeen {
-			mRefits.Add(int64(n - refitsSeen))
+			mRefits.With(model).Add(int64(n - refitsSeen))
 			refitsSeen = n
 		}
 		for _, res := range results {
@@ -611,7 +947,7 @@ func (cfg Config) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if n := st.Refits(); n > refitsSeen {
-		mRefits.Add(int64(n - refitsSeen))
+		mRefits.With(model).Add(int64(n - refitsSeen))
 	}
 }
 

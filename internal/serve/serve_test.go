@@ -65,6 +65,7 @@ func TestInfo(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Info{
+		Model:         "default",
 		Search:        "hics",
 		Scorer:        "lof",
 		Subspaces:     len(m.Subspaces()),

@@ -261,7 +261,7 @@ func TestStreamEndpointClientDisconnect(t *testing.T) {
 	srv := httptest.NewServer(New(Config{Model: m}))
 	defer srv.Close()
 
-	baseline := mActiveStreams.Value()
+	baseline := mActiveStreams.Total()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	pr, pw := io.Pipe()
@@ -301,10 +301,10 @@ func TestStreamEndpointClientDisconnect(t *testing.T) {
 	pw.CloseWithError(context.Canceled)
 	resp.Body.Close()
 	deadline := time.Now().Add(10 * time.Second)
-	for mActiveStreams.Value() > baseline && time.Now().Before(deadline) {
+	for mActiveStreams.Total() > baseline && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if n := mActiveStreams.Value(); n > baseline {
+	if n := mActiveStreams.Total(); n > baseline {
 		t.Errorf("active_streams = %v after disconnect, want %v", n, baseline)
 	}
 }
@@ -318,7 +318,7 @@ func TestMetricsCounters(t *testing.T) {
 
 	requests0 := mRequests.Total()
 	errors0 := mErrors.Value()
-	refits0 := mRefits.Value()
+	refits0 := mRefits.Total()
 
 	// One good score, one bad request, one refitting stream.
 	resp, _, _ := postScore(t, srv, `{"point": [0.5, 0.5, 0.5, 0.5]}`)
@@ -345,7 +345,7 @@ func TestMetricsCounters(t *testing.T) {
 	if d := mErrors.Value() - errors0; d < 1 {
 		t.Errorf("errors moved by %d, want >= 1", d)
 	}
-	if d := mRefits.Value() - refits0; d < 1 {
+	if d := mRefits.Total() - refits0; d < 1 {
 		t.Errorf("refits moved by %d, want >= 1", d)
 	}
 	if mLastScoreLat.Value() < 0 {
@@ -353,20 +353,20 @@ func TestMetricsCounters(t *testing.T) {
 	}
 	// Per-endpoint series moved too: a 200 /score, a 400 /score, a 200
 	// /stream.
-	if n := mRequests.With("score", "200").Value(); n < 1 {
+	if n := mRequests.With("score", "200", "default").Value(); n < 1 {
 		t.Errorf(`requests{score,200} = %d, want >= 1`, n)
 	}
-	if n := mRequests.With("score", "400").Value(); n < 1 {
+	if n := mRequests.With("score", "400", "default").Value(); n < 1 {
 		t.Errorf(`requests{score,400} = %d, want >= 1`, n)
 	}
-	if n := mRequests.With("stream", "200").Value(); n < 1 {
+	if n := mRequests.With("stream", "200", "default").Value(); n < 1 {
 		t.Errorf(`requests{stream,200} = %d, want >= 1`, n)
 	}
 
 	// /debug/vars is a thin view over the same registry: the legacy hicsd
 	// map keys exist and agree with the registry values read around the
 	// request (no other traffic hits the server between the two reads).
-	wantReq, wantErr, wantRefits := mRequests.Total(), mErrors.Value(), mRefits.Value()
+	wantReq, wantErr, wantRefits := mRequests.Total(), mErrors.Value(), mRefits.Total()
 	dv, err := http.Get(srv.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
