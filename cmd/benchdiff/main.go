@@ -1,0 +1,227 @@
+// Command benchdiff compares two recorded benchmark runs and fails on
+// regressions.
+//
+// Usage:
+//
+//	benchdiff [-threshold 15] [-match regex] [-min-time 50ms] BASELINE.json CURRENT.json
+//
+// Both inputs are `go test -json` streams (the repo's committed
+// BENCH_<n>.json files). Benchmarks present in both files are compared by
+// ns/op; a slowdown above -threshold percent is a regression and makes
+// the exit status 1. Benchmarks only in the current file are reported as
+// new, benchmarks only in the baseline as removed — neither fails the
+// run, so adding or retiring benchmarks never blocks CI.
+//
+// -min-time excludes benchmarks whose baseline iteration is shorter than
+// the given duration: the BENCH files are recorded with -benchtime 1x,
+// where sub-millisecond timings carry too much single-iteration noise to
+// gate on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		threshold = fs.Float64("threshold", 15, "fail on slowdowns above this percentage")
+		match     = fs.String("match", "", "compare only benchmarks matching this regexp")
+		minTime   = fs.Duration("min-time", 0, "ignore benchmarks with a baseline ns/op below this duration")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: benchdiff [flags] BASELINE.json CURRENT.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2, fmt.Errorf("want exactly 2 input files, got %d", fs.NArg())
+	}
+	var matchRE *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			return 2, fmt.Errorf("bad -match: %v", err)
+		}
+		matchRE = re
+	}
+
+	base, err := parseFile(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	cur, err := parseFile(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+
+	rep := diff(base, cur, *threshold, float64(*minTime/time.Nanosecond), matchRE)
+	for _, l := range rep.lines {
+		fmt.Fprintln(stdout, l)
+	}
+	fmt.Fprintf(stdout, "%d compared, %d regressed, %d improved, %d new, %d removed, %d skipped\n",
+		rep.compared, rep.regressed, rep.improved, rep.added, rep.removed, rep.skipped)
+	if rep.regressed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// event is the subset of the `go test -json` record benchdiff reads.
+type event struct {
+	Action  string
+	Package string
+	Test    string
+	Output  string
+}
+
+// resultRE matches a benchmark result line: name, iteration count,
+// ns/op. The -GOMAXPROCS suffix is stripped separately so benchmark
+// names containing dashes (sub-benchmarks) survive intact.
+var resultRE = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseFile extracts name → ns/op from a `go test -json` stream. Names
+// are qualified by package so equally-named benchmarks in different
+// packages cannot collide.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// test2json splits one benchmark result line across several output
+	// events whenever the benchmark is slow enough for the writer to
+	// flush in between: the name fragment ("BenchmarkFoo \t") is emitted
+	// when the run starts and the "1  123 ns/op" tail only when it
+	// finishes. Reassemble the raw text per (package, test) — events for
+	// different tests can interleave in the stream, but fragments of one
+	// line always share the Test field — then match whole lines.
+	type key struct{ pkg, test string }
+	buf := map[key]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %v", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		k := key{ev.Package, ev.Test}
+		b := buf[k]
+		if b == nil {
+			b = &strings.Builder{}
+			buf[k] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := map[string]float64{}
+	for k, b := range buf {
+		for _, line := range strings.Split(b.String(), "\n") {
+			m := resultRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			name := trimProcSuffix(m[1])
+			var ns float64
+			if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
+				continue
+			}
+			out[k.pkg+"."+name] = ns
+		}
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names, so runs recorded on machines with different core
+// counts still compare.
+func trimProcSuffix(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' {
+			return name[:i]
+		}
+		break
+	}
+	return name
+}
+
+type report struct {
+	lines                                                  []string
+	compared, regressed, improved, added, removed, skipped int
+}
+
+func diff(base, cur map[string]float64, threshold, minNs float64, match *regexp.Regexp) report {
+	var rep report
+	names := make([]string, 0, len(base)+len(cur))
+	for n := range base {
+		names = append(names, n)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if match != nil && !match.MatchString(n) {
+			continue
+		}
+		old, inBase := base[n]
+		now, inCur := cur[n]
+		switch {
+		case !inCur:
+			rep.removed++
+			rep.lines = append(rep.lines, fmt.Sprintf("removed   %-60s %14.0f ns/op", n, old))
+		case !inBase:
+			rep.added++
+			rep.lines = append(rep.lines, fmt.Sprintf("new       %-60s %14.0f ns/op", n, now))
+		case old < minNs:
+			rep.skipped++
+			rep.lines = append(rep.lines, fmt.Sprintf("skipped   %-60s %14.0f -> %14.0f ns/op (below -min-time)", n, old, now))
+		default:
+			delta := (now - old) / old * 100
+			rep.compared++
+			status := "ok"
+			switch {
+			case delta > threshold:
+				rep.regressed++
+				status = "REGRESSED"
+			case delta < -threshold:
+				rep.improved++
+				status = "improved"
+			}
+			rep.lines = append(rep.lines, fmt.Sprintf("%-9s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%", status, n, old, now, delta))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench fabricates a minimal `go test -json` stream with the given
+// benchmark results.
+func writeBench(t *testing.T, name string, results map[string]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"Action":"start","Package":"hics"}` + "\n")
+	for bench, ns := range results {
+		line := fmt.Sprintf("%s-8 \\t       1\\t%10.0f ns/op\\t  100 B/op\\t 2 allocs/op\\n", bench, ns)
+		sb.WriteString(fmt.Sprintf(`{"Action":"output","Package":"hics","Output":"%s"}`+"\n", line))
+	}
+	sb.WriteString(`{"Action":"pass","Package":"hics"}` + "\n")
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFile(t *testing.T) {
+	path := writeBench(t, "a.json", map[string]float64{
+		"BenchmarkFit/exact-flat":  44e9,
+		"BenchmarkKNN/kind=kdtree": 5300,
+	})
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(got), got)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped; dashes inside the
+	// sub-benchmark name must survive.
+	if ns := got["hics.BenchmarkFit/exact-flat"]; ns != 44e9 {
+		t.Errorf("exact-flat = %v, want 44e9 (keys: %v)", ns, got)
+	}
+}
+
+// TestParseFileSplitEvents covers the shape real recordings have for any
+// benchmark slower than the test2json flush interval: the name fragment
+// and the "1  123 ns/op" tail arrive as separate output events (the
+// recorded BENCH files are full of these), possibly with other tests'
+// events interleaved between them. Fragments of one line share the Test
+// field, which is what parseFile reassembles on.
+func TestParseFileSplitEvents(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"hics"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkSlow/n=2000/d=5","Output":"BenchmarkSlow/n=2000/d=5      \t"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkOther","Output":"=== RUN   BenchmarkOther\n"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkSlow/n=2000/d=5","Output":"       1\t  33791926 ns/op\t  452240 B/op\t    2021 allocs/op\n"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkOther","Output":"BenchmarkOther \t       1\t      7688 ns/op\n"}`,
+		`{"Action":"pass","Package":"hics"}`,
+	}, "\n") + "\n"
+	path := filepath.Join(t.TempDir(), "split.json")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["hics.BenchmarkSlow/n=2000/d=5"]; ns != 33791926 {
+		t.Errorf("split-event benchmark = %v, want 33791926 (keys: %v)", ns, got)
+	}
+	if ns := got["hics.BenchmarkOther"]; ns != 7688 {
+		t.Errorf("single-event benchmark = %v, want 7688 (keys: %v)", ns, got)
+	}
+}
+
+func TestDiffRegression(t *testing.T) {
+	base := writeBench(t, "base.json", map[string]float64{
+		"BenchmarkA":    1000000,
+		"BenchmarkB":    1000000,
+		"BenchmarkGone": 500,
+	})
+	cur := writeBench(t, "cur.json", map[string]float64{
+		"BenchmarkA":   1300000, // +30% — regression
+		"BenchmarkB":   900000,  // -10% — fine
+		"BenchmarkNew": 700,
+	})
+	var out strings.Builder
+	code, err := run([]string{base, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (regression present)\n%s", code, out.String())
+	}
+	for _, want := range []string{"REGRESSED", "BenchmarkA", "new", "BenchmarkNew", "removed", "BenchmarkGone", "1 regressed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	base := writeBench(t, "base.json", map[string]float64{"BenchmarkA": 1000000})
+	cur := writeBench(t, "cur.json", map[string]float64{"BenchmarkA": 1100000}) // +10%
+	var out strings.Builder
+	code, err := run([]string{base, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (+10%% within default 15%%)\n%s", code, out.String())
+	}
+}
+
+func TestDiffCustomThreshold(t *testing.T) {
+	base := writeBench(t, "base.json", map[string]float64{"BenchmarkA": 1000000})
+	cur := writeBench(t, "cur.json", map[string]float64{"BenchmarkA": 1100000}) // +10%
+	var out strings.Builder
+	code, err := run([]string{"-threshold", "5", base, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (+10%% above 5%%)\n%s", code, out.String())
+	}
+}
+
+func TestDiffMinTime(t *testing.T) {
+	// A 2× slowdown on a 100ns benchmark is single-iteration noise; with
+	// -min-time 1ms it must be skipped, not failed.
+	base := writeBench(t, "base.json", map[string]float64{"BenchmarkTiny": 100})
+	cur := writeBench(t, "cur.json", map[string]float64{"BenchmarkTiny": 200})
+	var out strings.Builder
+	code, err := run([]string{"-min-time", "1ms", base, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (below -min-time)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("output missing skip note:\n%s", out.String())
+	}
+}
+
+func TestDiffMatch(t *testing.T) {
+	base := writeBench(t, "base.json", map[string]float64{
+		"BenchmarkA": 1000000,
+		"BenchmarkB": 1000000,
+	})
+	cur := writeBench(t, "cur.json", map[string]float64{
+		"BenchmarkA": 5000000, // would regress, but filtered out
+		"BenchmarkB": 1000000,
+	})
+	var out strings.Builder
+	code, err := run([]string{"-match", "BenchmarkB$", base, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (regression filtered by -match)\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkA") {
+		t.Errorf("filtered benchmark still reported:\n%s", out.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if code, err := run([]string{"one-file-only.json"}, &strings.Builder{}); err == nil || code != 2 {
+		t.Errorf("single arg: code=%d err=%v, want usage error", code, err)
+	}
+	notJSON := filepath.Join(t.TempDir(), "x.json")
+	os.WriteFile(notJSON, []byte("not json\n"), 0o644)
+	if _, err := run([]string{notJSON, notJSON}, &strings.Builder{}); err == nil {
+		t.Error("non-JSON input should error")
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFit-8":             "BenchmarkFit",
+		"BenchmarkFit/exact-flat-16": "BenchmarkFit/exact-flat",
+		"BenchmarkFit/n=2000":        "BenchmarkFit/n=2000",
+		"BenchmarkNeighborhood":      "BenchmarkNeighborhood",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

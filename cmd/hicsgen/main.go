@@ -4,17 +4,26 @@
 // Usage:
 //
 //	hicsgen -n 1000 -d 50 -seed 1 -o data.csv          # synthetic benchmark
+//	hicsgen -rows 1000000 -dims 50 -o big.csv          # benchmark-scale, streamed
 //	hicsgen -uci Ionosphere -o iono.csv                # simulated UCI analog
 //	hicsgen -list                                      # list UCI analogs
+//
+// -seed fixes all randomness, so the same flags always reproduce the same
+// file. -rows/-dims select the streaming generator, which emits one row
+// at a time instead of materializing the full N×D matrix — benchmark-
+// scale datasets are written in O(D) memory.
 //
 // The output carries a header row and a trailing 0/1 "label" column with
 // the outlier ground truth, ready for `hics -header`.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 
 	"hics/internal/dataset"
 	"hics/internal/synth"
@@ -36,14 +45,24 @@ func run(args []string) error {
 		minDim   = fs.Int("mindim", 2, "minimum correlated subspace size")
 		maxDim   = fs.Int("maxdim", 5, "maximum correlated subspace size")
 		outliers = fs.Int("outliers", 5, "outliers planted per subspace")
-		seed     = fs.Uint64("seed", 1, "random seed")
+		rows     = fs.Int("rows", 0, "stream this many objects row by row (no full-matrix allocation; overrides -n)")
+		dims     = fs.Int("dims", 0, "attribute count for -rows streaming (overrides -d)")
+		seed     = fs.Uint64("seed", 1, "random seed; the same flags and seed always reproduce the same file")
 		out      = fs.String("o", "", "output file (default stdout)")
 		uciName  = fs.String("uci", "", "generate a simulated UCI analog instead (see -list)")
 		scale    = fs.Float64("scale", 1, "UCI analog size scale in (0,1]")
 		list     = fs.Bool("list", false, "list available UCI analogs and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hicsgen [flags]")
+		fmt.Fprintln(fs.Output(), `usage: hicsgen [flags]
+
+examples:
+  hicsgen -n 1000 -d 50 -seed 1 -o data.csv     reproducible benchmark dataset
+  hicsgen -rows 1000000 -dims 50 -o big.csv     benchmark-scale, streamed in O(dims) memory
+  hicsgen -uci Ionosphere -o iono.csv           simulated UCI analog
+
+-seed drives all randomness: rerunning with identical flags rewrites the
+identical file.`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +75,25 @@ func run(args []string) error {
 			fmt.Printf("  %-12s %5d x %3d, %d outliers\n", spec.Name, spec.N, spec.D, spec.Outliers)
 		}
 		return nil
+	}
+
+	if *rows > 0 || *dims > 0 {
+		if *uciName != "" {
+			return fmt.Errorf("-rows/-dims stream the synthetic benchmark and cannot be combined with -uci")
+		}
+		nn, dd := *rows, *dims
+		if nn <= 0 {
+			nn = *n
+		}
+		if dd <= 0 {
+			dd = *d
+		}
+		return streamCSV(*out, synth.Config{
+			N: nn, D: dd,
+			MinSubspaceDim: *minDim, MaxSubspaceDim: *maxDim,
+			OutliersPerSubspace: *outliers,
+			Seed:                *seed,
+		})
 	}
 
 	var (
@@ -99,5 +137,62 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d objects x %d attributes (%d outliers)\n",
 		labeled.Data.N(), labeled.Data.D(), labeled.NumOutliers())
+	return nil
+}
+
+// streamCSV writes a benchmark dataset row by row via synth.Stream, so
+// the peak memory is one row plus the output buffer regardless of N.
+func streamCSV(out string, cfg synth.Config) error {
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	// Header: the same attr0..attrD-1 + label columns WriteCSV emits.
+	for j := 0; j < cfg.D; j++ {
+		if j > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "attr%d", j)
+	}
+	bw.WriteString(",label\n")
+
+	outliers := 0
+	var fbuf []byte
+	groups, err := synth.Stream(cfg, func(id int, row []float64, outlier bool) error {
+		for _, v := range row {
+			fbuf = strconv.AppendFloat(fbuf[:0], v, 'g', -1, 64)
+			bw.Write(fbuf)
+			bw.WriteByte(',')
+		}
+		tail := "0\n"
+		if outlier {
+			outliers++
+			tail = "1\n"
+		}
+		// bufio latches the first write error, so checking the row's last
+		// write is enough to abort the stream promptly on a full disk.
+		_, err := bw.WriteString(tail)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "planted correlated subspaces:")
+	for _, g := range groups {
+		fmt.Fprintf(os.Stderr, " %v", g)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintf(os.Stderr, "streamed %d objects x %d attributes (%d outliers)\n",
+		cfg.N, cfg.D, outliers)
 	return nil
 }

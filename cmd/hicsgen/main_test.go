@@ -66,3 +66,34 @@ func TestGenerateErrors(t *testing.T) {
 		t.Error("degenerate size should fail")
 	}
 }
+
+func TestStreamedGeneration(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "stream.csv")
+	if err := run([]string{"-rows", "250", "-dims", "10", "-seed", "4", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := dataset.ReadLabeledCSV(f, dataset.CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Data.N() != 250 || l.Data.D() != 10 {
+		t.Errorf("streamed shape %dx%d, want 250x10", l.Data.N(), l.Data.D())
+	}
+	if l.Outlier == nil || l.NumOutliers() == 0 {
+		t.Error("no labels in streamed file")
+	}
+	if name := l.Data.Name(0); name != "attr0" {
+		t.Errorf("first column named %q, want attr0", name)
+	}
+}
+
+func TestStreamRejectsUCICombination(t *testing.T) {
+	if err := run([]string{"-rows", "100", "-uci", "Glass"}); err == nil {
+		t.Error("-rows with -uci should be rejected")
+	}
+}

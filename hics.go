@@ -107,11 +107,29 @@ type Options struct {
 	// MaxDim caps the dimensionality of generated subspace candidates;
 	// 0 means unbounded.
 	MaxDim int
+	// AdaptiveM enables the racing scheduler for the Monte Carlo budget:
+	// candidates of an Apriori level advance in rounds, and a candidate
+	// whose confidence bound falls below the level's retention cut stops
+	// early. Retained subspaces still complete all M iterations on their
+	// own random streams, so the final subspace set and its contrasts
+	// typically match the flat schedule; only the budget spent on
+	// discarded candidates shrinks. Off by default — the default flat
+	// schedule is bit-for-bit reproducible against earlier releases.
+	AdaptiveM bool
+	// MaxSampleRows bounds the rows used per contrast estimate: when the
+	// dataset has more rows, each candidate subspace draws a fixed,
+	// seed-deterministic subsample of this size and estimates its
+	// contrast there. 0 (default) disables subsampling. The estimate is
+	// unbiased but no longer bit-identical to the full-data contrast;
+	// see docs/performance.md for the tradeoff.
+	MaxSampleRows int
 	// NeighborIndex selects the neighbor-search backend of the ranking
 	// step: "auto" (default; k-d tree for large, low-dimensional
-	// projections, brute force otherwise), "kdtree", or "brute". All
-	// backends produce bit-for-bit identical scores; the choice only
-	// affects speed.
+	// projections, brute force otherwise), "kdtree", "brute", or "lsh"
+	// (approximate random-projection forest; never chosen by auto). The
+	// exact backends produce bit-for-bit identical scores and the choice
+	// only affects speed; "lsh" trades a small recall loss (≥ 0.95 in
+	// the default configuration) for query cost independent of N.
 	NeighborIndex string
 	// Search selects the subspace-search method by registry name:
 	// "hics" (default), "enclus", "ris", "randsub", "surfing", or
@@ -149,6 +167,9 @@ func (o Options) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("hics: Workers must be non-negative, got %d (0 selects one worker per CPU)", o.Workers)
+	}
+	if o.MaxSampleRows < 0 {
+		return fmt.Errorf("hics: MaxSampleRows must be non-negative, got %d (0 disables contrast subsampling)", o.MaxSampleRows)
 	}
 	// Method names are validated here too, so every entry point — even
 	// SearchSubspaces, which never constructs the scorer — rejects an
@@ -219,13 +240,15 @@ func (o Options) coreParams() (core.Params, error) {
 		return core.Params{}, err
 	}
 	p := core.Params{
-		M:       o.M,
-		Alpha:   o.Alpha,
-		Cutoff:  o.CandidateCutoff,
-		TopK:    o.TopK,
-		Seed:    o.Seed,
-		Workers: o.Workers,
-		MaxDim:  o.MaxDim,
+		M:             o.M,
+		Alpha:         o.Alpha,
+		Cutoff:        o.CandidateCutoff,
+		TopK:          o.TopK,
+		Seed:          o.Seed,
+		Workers:       o.Workers,
+		MaxDim:        o.MaxDim,
+		AdaptiveM:     o.AdaptiveM,
+		MaxSampleRows: o.MaxSampleRows,
 	}
 	if o.Test != "" {
 		t, err := core.ParseTest(o.Test)
@@ -508,4 +531,4 @@ func FitScorerNames() []string { return registry.FitScorerNames() }
 // truth for version reporting: the hicsd /healthz and /info responses,
 // the `hics -version` and `hicsd -version` flags, and the README all
 // derive from this constant.
-const Version = "1.6.0"
+const Version = "1.7.0"

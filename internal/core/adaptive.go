@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"hics/internal/parallel"
+	"hics/internal/rng"
+	"hics/internal/subspace"
+)
+
+// The adaptive scheduler replaces the flat M-iterations-per-candidate
+// contrast loop with successive-halving-style racing: all candidates of an
+// Apriori level advance in rounds, and after every round each undecided
+// candidate's running mean ± confidence radius is compared against the
+// level's retention cut (the Cutoff-th best lower bound). A candidate whose
+// upper bound falls below the cut is statistically decided against
+// retention — spending its remaining Monte Carlo budget cannot change the
+// level's outcome, so it stops early and keeps its partial estimate.
+//
+// Two properties follow from the design:
+//
+//   - Candidates that survive to retention always complete all M
+//     iterations on their own per-subspace stream, so their contrasts are
+//     bit-for-bit the flat-M values; only discarded candidates carry
+//     partial estimates.
+//   - Rounds are global barriers and pruning decisions are computed
+//     single-threaded from the full candidate state, so results are
+//     deterministic and independent of the worker count — exactly like the
+//     flat path.
+
+// adaptiveZ scales the confidence radius: a CLT-style bound of z standard
+// errors on the running mean of [0,1]-valued deviations. z = 3 keeps the
+// per-comparison error probability below ~0.3%, conservative enough that a
+// candidate belonging above the cut is practically never pruned.
+const adaptiveZ = 3.0
+
+// adaptiveRounds splits M into this many racing rounds; more rounds prune
+// earlier but pay more barrier synchronizations.
+const adaptiveRounds = 8
+
+// adaptiveMinIters is the minimum number of iterations a candidate must
+// have before it may be pruned — below this the empirical variance is too
+// unreliable to act on.
+const adaptiveMinIters = 10
+
+// scoreAllAdaptive evaluates the candidates' contrasts with the racing
+// scheduler. It returns the scored candidates plus the Monte Carlo
+// iterations actually spent and the number of candidates pruned early.
+func scoreAllAdaptive(ctx context.Context, eval *Evaluator, base *rng.RNG, candidates []subspace.Subspace, p Params) ([]subspace.Scored, int, int, error) {
+	nCand := len(candidates)
+	runs := make([]*run, nCand)
+	for i, s := range candidates {
+		runs[i] = eval.newRun(s, base.Derive(hashSubspace(s)))
+	}
+	pruned := make([]bool, nCand)
+
+	// The retention cut: the level keeps its top Cutoff candidates, so a
+	// candidate decided below the Cutoff-th best cannot affect the search.
+	// When every candidate is retained anyway there is no cut to race
+	// against, and the loop degenerates to the flat schedule.
+	keep := p.Cutoff
+	canPrune := nCand > keep
+
+	roundSize := (p.M + adaptiveRounds - 1) / adaptiveRounds
+	if roundSize < adaptiveMinIters {
+		roundSize = adaptiveMinIters
+	}
+
+	workers := parallel.WorkerCount(p.Workers, nCand)
+	scratches := make([]*Scratch, workers)
+	active := make([]int, 0, nCand)
+	for i := range runs {
+		active = append(active, i)
+	}
+	lcbs := make([]float64, 0, nCand)
+
+	for len(active) > 0 {
+		err := parallel.ForEach(ctx, len(active), workers, 1, func(w, ai int) error {
+			sc := scratches[w]
+			if sc == nil {
+				sc = eval.NewScratch()
+				scratches[w] = sc
+			}
+			ru := runs[active[ai]]
+			step := roundSize
+			if rem := p.M - ru.done; step > rem {
+				step = rem
+			}
+			return ru.advance(ctx, step, sc)
+		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+
+		if canPrune {
+			// The cut: the keep-th largest lower confidence bound over all
+			// candidates still in contention (pruned ones were decided
+			// below it and cannot raise it).
+			lcbs = lcbs[:0]
+			for i, ru := range runs {
+				if !pruned[i] {
+					lcbs = append(lcbs, ru.estimate()-ru.radius())
+				}
+			}
+			sort.Float64s(lcbs)
+			threshold := lcbs[len(lcbs)-keep]
+			for _, i := range active {
+				ru := runs[i]
+				if ru.done >= p.M || ru.done < adaptiveMinIters {
+					continue
+				}
+				if ru.estimate()+ru.radius() < threshold {
+					pruned[i] = true
+				}
+			}
+		}
+
+		next := active[:0]
+		for _, i := range active {
+			if runs[i].done < p.M && !pruned[i] {
+				next = append(next, i)
+			}
+		}
+		active = next
+	}
+
+	scored := make([]subspace.Scored, nCand)
+	spent, nPruned := 0, 0
+	for i, ru := range runs {
+		scored[i] = subspace.Scored{S: candidates[i], Score: ru.estimate()}
+		spent += ru.done
+		if pruned[i] {
+			nPruned++
+		}
+	}
+	return scored, spent, nPruned, nil
+}
+
+// radius is the confidence radius of the run's estimate: adaptiveZ
+// standard errors of the running mean.
+func (ru *run) radius() float64 {
+	if ru.done == 0 {
+		return 1
+	}
+	return adaptiveZ * math.Sqrt(ru.variance()/float64(ru.done))
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hics/internal/dataset"
+	"hics/internal/subspace"
+)
+
+// TestAdaptiveMatchesFlatWithoutPruningPressure: when every candidate is
+// retained anyway (candidates ≤ Cutoff) the racing scheduler has no cut to
+// race against and must reproduce the flat schedule bit for bit — same
+// subspaces, same float64 contrasts.
+func TestAdaptiveMatchesFlatWithoutPruningPressure(t *testing.T) {
+	ds := correlatedPair(11, 400, 4) // 6 pairs, all retained at Cutoff 10
+	flat := Params{M: 60, Seed: 9, Cutoff: 10, TopK: -1, MaxDim: 2}
+	adaptive := flat
+	adaptive.AdaptiveM = true
+	rf, err := Search(ds, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Search(ds, adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rf.Subspaces) != len(ra.Subspaces) {
+		t.Fatalf("result sizes differ: flat %d, adaptive %d", len(rf.Subspaces), len(ra.Subspaces))
+	}
+	for i := range rf.Subspaces {
+		if !rf.Subspaces[i].S.Equal(ra.Subspaces[i].S) || rf.Subspaces[i].Score != ra.Subspaces[i].Score {
+			t.Fatalf("entry %d differs: flat %v=%v, adaptive %v=%v", i,
+				rf.Subspaces[i].S, rf.Subspaces[i].Score, ra.Subspaces[i].S, ra.Subspaces[i].Score)
+		}
+	}
+	if ra.PrunedEarly != 0 {
+		t.Errorf("PrunedEarly = %d without pruning pressure, want 0", ra.PrunedEarly)
+	}
+	if ra.MCIterations != rf.MCIterations {
+		t.Errorf("MCIterations = %d, flat spent %d", ra.MCIterations, rf.MCIterations)
+	}
+}
+
+// TestAdaptivePrunesAndAgreesOnTop: under real pruning pressure the
+// scheduler must save budget (prune early, spend fewer iterations than
+// candidates×M) while still ranking the planted high-contrast subspace
+// first — and every subspace it retains carries its exact flat-M contrast,
+// because survivors always complete all M iterations on their own stream.
+func TestAdaptivePrunesAndAgreesOnTop(t *testing.T) {
+	ds := correlatedPair(12, 800, 10) // 45 pairs racing for Cutoff 8
+	flat := Params{M: 100, Seed: 13, Cutoff: 8, TopK: 5, MaxDim: 2}
+	adaptive := flat
+	adaptive.AdaptiveM = true
+	rf, err := Search(ds, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Search(ds, adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.PrunedEarly == 0 {
+		t.Error("expected the scheduler to prune candidates on 45-way pressure")
+	}
+	if ra.MCIterations >= ra.Evaluated*100 {
+		t.Errorf("MCIterations = %d, no saving over the flat budget %d", ra.MCIterations, ra.Evaluated*100)
+	}
+	if !ra.Subspaces[0].S.SupersetOf(subspace.New(0, 1)) {
+		t.Errorf("adaptive top subspace %v does not contain the planted pair", ra.Subspaces[0].S)
+	}
+	// Retained subspaces completed all M iterations, so wherever the two
+	// schedules agree on a subspace the contrast is the identical float64.
+	flatScore := map[string]float64{}
+	for _, sc := range rf.Subspaces {
+		flatScore[sc.S.Key()] = sc.Score
+	}
+	agreed := 0
+	for _, sc := range ra.Subspaces {
+		if want, ok := flatScore[sc.S.Key()]; ok {
+			agreed++
+			if sc.Score != want {
+				t.Errorf("retained subspace %v: adaptive contrast %v != flat %v", sc.S, sc.Score, want)
+			}
+		}
+	}
+	if agreed == 0 {
+		t.Error("flat and adaptive top sets share no subspace")
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers: pruning decisions are computed
+// single-threaded at round barriers, so the adaptive result must be
+// bit-for-bit independent of the worker count.
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	ds := correlatedPair(14, 500, 8)
+	p := Params{M: 40, Seed: 15, Cutoff: 6, TopK: 10, MaxDim: 2, AdaptiveM: true}
+	p1 := p
+	p1.Workers = 1
+	p4 := p
+	p4.Workers = 4
+	r1, err := Search(ds, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Search(ds, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MCIterations != r4.MCIterations || r1.PrunedEarly != r4.PrunedEarly {
+		t.Fatalf("budget accounting depends on workers: (%d, %d) vs (%d, %d)",
+			r1.MCIterations, r1.PrunedEarly, r4.MCIterations, r4.PrunedEarly)
+	}
+	if len(r1.Subspaces) != len(r4.Subspaces) {
+		t.Fatalf("result sizes differ: %d vs %d", len(r1.Subspaces), len(r4.Subspaces))
+	}
+	for i := range r1.Subspaces {
+		if !r1.Subspaces[i].S.Equal(r4.Subspaces[i].S) || r1.Subspaces[i].Score != r4.Subspaces[i].Score {
+			t.Fatalf("entry %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestAdaptiveCancellation: a cancelled context surfaces promptly from the
+// racing scheduler as ctx.Err(), before and between rounds.
+func TestAdaptiveCancellation(t *testing.T) {
+	ds := correlatedPair(16, 300, 6)
+	p := Params{M: 50, Seed: 17, Cutoff: 5, AdaptiveM: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SearchContext(ctx, ds, p); err != context.Canceled {
+		t.Fatalf("cancelled adaptive search returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSubsampleWithinTolerance: the bounded-subsample contrast must stay
+// close to the full-data contrast — it estimates the same quantity on a
+// uniform row sample — on both high- and low-contrast subspaces.
+func TestSubsampleWithinTolerance(t *testing.T) {
+	pFull := Params{M: 100, Seed: 19}
+	pSub := pFull
+	pSub.MaxSampleRows = 1000
+	for name, ds := range map[string]*dataset.Dataset{
+		"correlated":   correlatedPair(18, 5000, 2),
+		"uncorrelated": uncorrelated(20, 5000, 2),
+	} {
+		full, err := ContrastOf(ds, subspace.New(0, 1), pFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := ContrastOf(ds, subspace.New(0, 1), pSub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(full-sub) > 0.1 {
+			t.Errorf("%s: subsampled contrast %v vs full %v, |Δ| > 0.1", name, sub, full)
+		}
+	}
+}
+
+// TestSubsampleDeterministicAndGated: the subsample is drawn from a
+// derived stream keyed to the subspace, so repeated calls agree exactly;
+// and a bound at or above N changes nothing — bit-for-bit the full-data
+// contrast.
+func TestSubsampleDeterministicAndGated(t *testing.T) {
+	ds := correlatedPair(21, 2000, 3)
+	p := Params{M: 50, Seed: 22, MaxSampleRows: 500}
+	a, err := ContrastOf(ds, subspace.New(0, 1, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ContrastOf(ds, subspace.New(0, 1, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("subsampled contrast not deterministic: %v vs %v", a, b)
+	}
+	pOff := p
+	pOff.MaxSampleRows = 0
+	pHigh := p
+	pHigh.MaxSampleRows = ds.N() // bound == N: no subsample engaged
+	full, err := ContrastOf(ds, subspace.New(0, 1, 2), pOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := ContrastOf(ds, subspace.New(0, 1, 2), pHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated != full {
+		t.Errorf("MaxSampleRows = N changed the contrast: %v vs %v", gated, full)
+	}
+}
+
+// TestSubsampleParentStreamUntouched: engaging the subsample derives its
+// randomness from a side stream, so the Monte Carlo iteration stream is
+// unperturbed — the same seed draws the same slices whether or not the
+// run is subsampled. Observable consequence: two different bounds on the
+// same data still produce highly similar estimates (same slice pattern on
+// different row samples), and the full run is exactly reproducible after
+// a subsampled one.
+func TestSubsampleParentStreamUntouched(t *testing.T) {
+	ds := correlatedPair(23, 3000, 2)
+	full1, err := ContrastOf(ds, subspace.New(0, 1), Params{M: 50, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ContrastOf(ds, subspace.New(0, 1), Params{M: 50, Seed: 24, MaxSampleRows: 800}); err != nil {
+		t.Fatal(err)
+	}
+	full2, err := ContrastOf(ds, subspace.New(0, 1), Params{M: 50, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full1 != full2 {
+		t.Errorf("full contrast not reproducible around a subsampled run: %v vs %v", full1, full2)
+	}
+}
+
+// TestAdaptiveWithSubsampleSearch: the two knobs compose — a search with
+// both enabled still finds the planted subspace and reports a reduced
+// budget.
+func TestAdaptiveWithSubsampleSearch(t *testing.T) {
+	ds := correlatedPair(25, 2000, 8)
+	p := Params{M: 60, Seed: 26, Cutoff: 6, TopK: 5, MaxDim: 2, AdaptiveM: true, MaxSampleRows: 500}
+	res, err := Search(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Subspaces[0].S.SupersetOf(subspace.New(0, 1)) {
+		t.Errorf("top subspace %v does not contain the planted pair", res.Subspaces[0].S)
+	}
+	if res.MCIterations >= res.Evaluated*60 {
+		t.Errorf("no budget saving: spent %d of %d", res.MCIterations, res.Evaluated*60)
+	}
+}

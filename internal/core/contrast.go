@@ -112,6 +112,21 @@ type Params struct {
 	// DisablePruning turns off the redundancy pruning post-processing
 	// (used by the pruning ablation; the paper always prunes).
 	DisablePruning bool
+	// AdaptiveM enables the racing scheduler: contrast estimation runs in
+	// rounds over the candidate set, and candidates whose confidence bound
+	// is statistically decided against the level's retention cut stop
+	// early instead of spending the full M. Candidates that survive to
+	// retention always complete all M iterations, so their contrasts are
+	// bit-for-bit the flat-M values; only pruned (discarded) candidates
+	// carry partial estimates. Off (the default) is bit-for-bit identical
+	// to the flat loop.
+	AdaptiveM bool
+	// MaxSampleRows bounds the number of rows a contrast estimate may
+	// touch: when 0 < MaxSampleRows < N, each subspace is estimated on a
+	// deterministic per-subspace subsample of MaxSampleRows objects
+	// (seeded from the subspace's stream), so per-candidate cost stops
+	// growing linearly in N. 0 (the default) estimates on all rows.
+	MaxSampleRows int
 }
 
 func (p Params) withDefaults() Params {
@@ -200,35 +215,143 @@ func (e *Evaluator) Contrast(s subspace.Subspace, r *rng.RNG, sc *Scratch) float
 // fires. The check never touches the random stream, so an uncancelled
 // call is bit-for-bit identical to Contrast.
 func (e *Evaluator) ContrastContext(ctx context.Context, s subspace.Subspace, r *rng.RNG, sc *Scratch) (float64, error) {
-	d := s.Dim()
-	if d < 2 {
+	if s.Dim() < 2 {
 		return 0, ctx.Err()
 	}
+	run := e.newRun(s, r)
+	if err := run.advance(ctx, e.params.M, sc); err != nil {
+		return 0, err
+	}
+	return run.estimate(), nil
+}
+
+// sampleStream labels the sub-stream a subspace's row subsample is drawn
+// from. Derive does not advance the parent, so the Monte Carlo stream of a
+// subsampled run starts at the same state as a full-data run's.
+const sampleStream = 0x5a3c9d17
+
+// sampleIndex is the frozen per-candidate row subsample of a bounded
+// contrast estimate: the sampled object ids plus, per subspace position,
+// the sample re-sorted by that attribute's values (the sample's analog of
+// dataset.SortedIndex, with the same ascending-id tie order).
+type sampleIndex struct {
+	ids    []int   // sampled object ids, ascending
+	sorted [][]int // sorted[i]: ids ordered by the values of s[i]
+}
+
+// newSampleIndex draws m distinct row ids from [0, N) on the given stream
+// and builds the per-attribute sorted views the slicing loop needs.
+func (e *Evaluator) newSampleIndex(s subspace.Subspace, r *rng.RNG, m int) *sampleIndex {
 	n := e.ds.N()
+	// Floyd's sampling: m distinct ids in O(m) expected time, no N-sized
+	// allocation.
+	chosen := make(map[int]struct{}, m)
+	ids := make([]int, 0, m)
+	for i := n - m; i < n; i++ {
+		j := r.Intn(i + 1)
+		if _, dup := chosen[j]; dup {
+			j = i
+		}
+		chosen[j] = struct{}{}
+		ids = append(ids, j)
+	}
+	sort.Ints(ids)
+
+	si := &sampleIndex{ids: ids, sorted: make([][]int, s.Dim())}
+	for i, attr := range s {
+		col := e.ds.Col(attr)
+		so := append([]int(nil), ids...)
+		// Ties break toward the lower id, matching dataset.SortedIndex.
+		sort.Slice(so, func(a, b int) bool {
+			if col[so[a]] != col[so[b]] {
+				return col[so[a]] < col[so[b]]
+			}
+			return so[a] < so[b]
+		})
+		si.sorted[i] = so
+	}
+	return si
+}
+
+// run is the incremental state of one subspace's Monte Carlo contrast
+// estimate. The flat path builds a run and advances it M iterations in one
+// go; the adaptive scheduler advances runs in rounds and reads the partial
+// estimate between rounds. The per-candidate stream and the accumulated
+// sums live here; the N-sized slicing buffers stay in the shared Scratch,
+// so holding many runs concurrently is cheap.
+type run struct {
+	e *Evaluator
+	s subspace.Subspace
+	r *rng.RNG
+
+	rows      int          // effective row count (sample size, or N)
+	blockSize int          // condition block size over rows
+	sample    *sampleIndex // nil when estimating on the full data
+
+	sum   float64 // accumulated deviations
+	sumSq float64 // accumulated squared deviations (adaptive bounds)
+	done  int     // iterations completed
+}
+
+// newRun prepares incremental contrast estimation for s on stream r. When
+// Params.MaxSampleRows bounds the rows, the subsample is drawn from a
+// sub-stream derived from r, so the Monte Carlo stream itself is
+// unaffected and the sample is a pure function of (Seed, subspace).
+func (e *Evaluator) newRun(s subspace.Subspace, r *rng.RNG) *run {
+	d := s.Dim()
 	p := e.params
+	ru := &run{e: e, s: s, r: r, rows: e.ds.N()}
+	if p.MaxSampleRows > 0 && ru.rows > p.MaxSampleRows && d >= 2 {
+		ru.rows = p.MaxSampleRows
+		ru.sample = e.newSampleIndex(s, r.Derive(sampleStream), ru.rows)
+		mContrastSampleRows.Add(int64(ru.rows))
+	}
 
 	// α1 = |S|-th root of α: each of the |S|−1 conditions keeps an index
-	// block of N·α1 objects so that E[N'] = N·α1^{|S|−1} ≥ N·α (Eq. 7; the
-	// paper sizes blocks with the |S|-th root, keeping N' slightly above
-	// the target for the final test statistic).
+	// block of rows·α1 objects so that E[N'] = rows·α1^{|S|−1} ≥ rows·α
+	// (Eq. 7; the paper sizes blocks with the |S|-th root, keeping N'
+	// slightly above the target for the final test statistic).
 	alpha1 := math.Pow(p.Alpha, 1/float64(d))
-	blockSize := int(math.Round(alpha1 * float64(n)))
-	if blockSize < 1 {
-		blockSize = 1
+	ru.blockSize = int(math.Round(alpha1 * float64(ru.rows)))
+	if ru.blockSize < 1 {
+		ru.blockSize = 1
 	}
-	if blockSize > n {
-		blockSize = n
+	if ru.blockSize > ru.rows {
+		ru.blockSize = ru.rows
 	}
+	return ru
+}
 
+// sortedIndex returns the slicing order of the run's rows for subspace
+// position pos: the dataset's full sorted index, or the subsample's.
+func (ru *run) sortedIndex(pos int) []int {
+	if ru.sample != nil {
+		return ru.sample.sorted[pos]
+	}
+	return ru.e.ds.SortedIndex(ru.s[pos])
+}
+
+// advance runs iters more Monte Carlo iterations, continuing the run's
+// random stream exactly where the previous advance left it — advancing in
+// increments is bit-for-bit identical to one uninterrupted loop. The
+// context is checked between iterations without touching the stream.
+func (ru *run) advance(ctx context.Context, iters int, sc *Scratch) error {
+	d := ru.s.Dim()
+	if d < 2 {
+		// No notion of correlation (Sec. IV-B): every iteration
+		// contributes zero deviation.
+		ru.done += iters
+		return ctx.Err()
+	}
+	e := ru.e
 	if cap(sc.perm) < d {
 		sc.perm = make([]int, d)
 	}
 	perm := sc.perm[:d]
 
-	sum := 0.0
-	for iter := 0; iter < p.M; iter++ {
+	for iter := 0; iter < iters; iter++ {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return err
 		}
 		sc.iter++
 		if sc.iter < 0 {
@@ -240,17 +363,16 @@ func (e *Evaluator) ContrastContext(ctx context.Context, s subspace.Subspace, r 
 			}
 			sc.iter = 1
 		}
-		r.PermInto(perm)
+		ru.r.PermInto(perm)
 
 		// Apply |S|−1 conditions; remember the first block to enumerate the
 		// conjunction (the selected set is a subset of every block).
 		var firstBlock []int
 		need := int32(d - 1)
 		for j := 0; j < d-1; j++ {
-			attr := s[perm[j]]
-			idx := e.ds.SortedIndex(attr)
-			start := r.Intn(n - blockSize + 1)
-			block := idx[start : start+blockSize]
+			idx := ru.sortedIndex(perm[j])
+			start := ru.r.Intn(ru.rows - ru.blockSize + 1)
+			block := idx[start : start+ru.blockSize]
 			if j == 0 {
 				firstBlock = block
 			}
@@ -265,7 +387,7 @@ func (e *Evaluator) ContrastContext(ctx context.Context, s subspace.Subspace, r 
 		}
 
 		// Conditional sample of the remaining attribute.
-		lastAttr := s[perm[d-1]]
+		lastAttr := ru.s[perm[d-1]]
 		col := e.ds.Col(lastAttr)
 		cond := sc.cond[:0]
 		for _, id := range firstBlock {
@@ -275,9 +397,42 @@ func (e *Evaluator) ContrastContext(ctx context.Context, s subspace.Subspace, r 
 		}
 		sc.cond = cond
 
-		sum += e.deviation(lastAttr, cond)
+		dev := e.deviation(lastAttr, cond)
+		ru.sum += dev
+		ru.sumSq += dev * dev
+		ru.done++
 	}
-	return sum / float64(p.M), nil
+	return nil
+}
+
+// estimate returns the running mean deviation — the contrast estimate
+// after done iterations. A full run (done == M) reproduces the flat-M
+// contrast bit for bit: the deviations accumulate in the same order and
+// the division is the same.
+func (ru *run) estimate() float64 {
+	if ru.done == 0 {
+		return 0
+	}
+	return ru.sum / float64(ru.done)
+}
+
+// variance returns the (biased) empirical variance of the deviations seen
+// so far — the spread the adaptive scheduler's confidence radius is built
+// on. Deviations live in [0,1], so the value is clamped to that range's
+// maximal variance to absorb rounding.
+func (ru *run) variance() float64 {
+	if ru.done == 0 {
+		return 0.25
+	}
+	m := ru.sum / float64(ru.done)
+	v := ru.sumSq/float64(ru.done) - m*m
+	if v < 0 {
+		v = 0
+	}
+	if v > 0.25 {
+		v = 0.25
+	}
+	return v
 }
 
 // deviation compares the conditional sample of attribute attr to its

@@ -20,6 +20,13 @@ type SearchResult struct {
 	Levels [][]subspace.Scored
 	// Evaluated counts contrast computations performed.
 	Evaluated int
+	// MCIterations counts the Monte Carlo iterations actually executed.
+	// With the flat schedule it equals Evaluated·M; with AdaptiveM it is
+	// smaller whenever the racing scheduler pruned candidates early.
+	MCIterations int
+	// PrunedEarly counts the candidates the adaptive scheduler stopped
+	// before their full M iterations (always 0 with the flat schedule).
+	PrunedEarly int
 }
 
 // Search runs the full HiCS subspace framework (Sec. IV-B) on ds:
@@ -59,11 +66,29 @@ func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*SearchR
 
 	candidates := subspace.AllPairs(ds.D())
 	for len(candidates) > 0 {
-		scored, err := scoreAll(ctx, eval, base, candidates, p.Workers)
+		var (
+			scored []subspace.Scored
+			err    error
+		)
+		if p.AdaptiveM {
+			var spent, nPruned int
+			scored, spent, nPruned, err = scoreAllAdaptive(ctx, eval, base, candidates, p)
+			if err == nil {
+				result.MCIterations += spent
+				result.PrunedEarly += nPruned
+			}
+		} else {
+			scored, err = scoreAll(ctx, eval, base, candidates, p.Workers)
+			if err == nil {
+				result.MCIterations += len(scored) * p.M
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
 		result.Evaluated += len(scored)
+		mCandidates.Add(int64(len(scored)))
+		mMCBudget.Add(int64(len(scored) * p.M))
 
 		retained := subspace.TopK(scored, p.Cutoff)
 		result.Levels = append(result.Levels, retained)
@@ -84,6 +109,8 @@ func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*SearchR
 		pool = subspace.PruneRedundant(pool)
 	}
 	result.Subspaces = subspace.TopK(pool, p.TopK)
+	mMCIterations.Add(int64(result.MCIterations))
+	mCandidatesPruned.Add(int64(result.PrunedEarly))
 	return result, nil
 }
 

@@ -15,7 +15,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -141,7 +141,21 @@ func (ds *Dataset) SortedIndex(d int) []int {
 			idx[i] = i
 		}
 		col := ds.cols[d]
-		sort.SliceStable(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
+		// Sorting by (value, id) is a total order, so the non-stable
+		// generic sort produces exactly the permutation the previous
+		// stable value-sort did (idx starts in ascending id order) at a
+		// fraction of the cost — this is the dominant preprocessing step
+		// at large N.
+		slices.SortFunc(idx, func(a, b int) int {
+			switch {
+			case col[a] < col[b]:
+				return -1
+			case col[a] > col[b]:
+				return 1
+			default:
+				return a - b
+			}
+		})
 		ds.sorted[d] = idx
 	})
 	return ds.sorted[d]

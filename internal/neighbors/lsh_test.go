@@ -1,0 +1,290 @@
+package neighbors
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hics/internal/dataset"
+	"hics/internal/rng"
+)
+
+// recallAt measures |approx ∩ exact| / |exact| over the exact neighborhood.
+func recallAt(exact, approx []Neighbor) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(approx))
+	for _, x := range approx {
+		in[x.ID] = true
+	}
+	hit := 0
+	for _, x := range exact {
+		if in[x.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// TestLSHRecall is the approximate backend's quality contract: on fixed
+// seeds and the subspace shapes the ranking step actually queries (2–5
+// dimensions), the default forest reaches ≥ 0.95 mean recall against the
+// exact neighborhoods, and every reported distance is the exact float64.
+func TestLSHRecall(t *testing.T) {
+	configs := []struct {
+		seed uint64
+		n, d int
+	}{
+		{41, 2000, 2},
+		{42, 2000, 3},
+		{43, 5000, 3},
+		{44, 3000, 5},
+	}
+	const k = 10
+	for _, cfg := range configs {
+		ds := randomDataset(cfg.seed, cfg.n, cfg.d, 0)
+		dims := allDims(cfg.d)
+		exact, err := New(ds, dims, KindKDTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := New(ds, dims, KindLSH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approx.Kind() != KindLSH {
+			t.Fatalf("Kind() = %v, want lsh", approx.Kind())
+		}
+		scE, scA := exact.NewScratch(), approx.NewScratch()
+		sum := 0.0
+		queries := 0
+		for q := 0; q < cfg.n; q += 7 {
+			nbE, _ := exact.KNN(q, k, scE, nil)
+			nbA, _ := approx.KNN(q, k, scA, nil)
+			sum += recallAt(nbE, nbA)
+			queries++
+			// Reported distances must be the exact float64s.
+			for _, x := range nbA {
+				if x.Dist != exact.Dist(q, x.ID) {
+					t.Fatalf("n=%d d=%d q=%d: lsh distance to %d is %v, exact %v",
+						cfg.n, cfg.d, q, x.ID, x.Dist, exact.Dist(q, x.ID))
+				}
+			}
+			// Results in ascending id order, like the exact backends.
+			for i := 1; i < len(nbA); i++ {
+				if nbA[i-1].ID >= nbA[i].ID {
+					t.Fatalf("n=%d d=%d q=%d: lsh neighbors not in ascending id order", cfg.n, cfg.d, q)
+				}
+			}
+		}
+		recall := sum / float64(queries)
+		t.Logf("n=%d d=%d: mean recall@%d = %.3f", cfg.n, cfg.d, k, recall)
+		if recall < 0.95 {
+			t.Errorf("n=%d d=%d: mean recall@%d = %.3f, want >= 0.95", cfg.n, cfg.d, k, recall)
+		}
+	}
+}
+
+// TestLSHDeterministicRebuild pins the persistence contract: two forests
+// built over the same data with the same parameters answer every query
+// identically, so a model reload that rebuilds the index reproduces the
+// saved model's scores bit for bit.
+func TestLSHDeterministicRebuild(t *testing.T) {
+	ds := randomDataset(51, 1500, 3, 0)
+	dims := allDims(3)
+	a, err := New(ds, dims, KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(ds, dims, KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scA, scB := a.NewScratch(), b.NewScratch()
+	for q := 0; q < ds.N(); q += 11 {
+		nbA, kdA := a.KNN(q, 10, scA, nil)
+		nbB, kdB := b.KNN(q, 10, scB, nil)
+		if kdA != kdB || len(nbA) != len(nbB) {
+			t.Fatalf("q=%d: rebuilds disagree (kdist %v vs %v, %d vs %d neighbors)",
+				q, kdA, kdB, len(nbA), len(nbB))
+		}
+		for i := range nbA {
+			if nbA[i] != nbB[i] {
+				t.Fatalf("q=%d neighbor %d: %v vs %v", q, i, nbA[i], nbB[i])
+			}
+		}
+	}
+}
+
+// TestLSHSmallFallsBackToExact: when the candidate union cannot fill k
+// (tiny datasets, or k beyond the forest's reach), the backend answers
+// with an exact scan — bit-for-bit the brute result.
+func TestLSHSmallFallsBackToExact(t *testing.T) {
+	for _, n := range []int{5, 40, 200} {
+		ds := randomDataset(61, n, 2, 0)
+		brute, err := New(ds, []int{0, 1}, KindBrute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsh, err := New(ds, []int{0, 1}, KindLSH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scB, scL := brute.NewScratch(), lsh.NewScratch()
+		for _, k := range []int{1, 3, n - 1, n + 5} {
+			for q := 0; q < n; q++ {
+				nbB, kdB := brute.KNN(q, k, scB, nil)
+				nbL, kdL := lsh.KNN(q, k, scL, nil)
+				if kdB != kdL || len(nbB) != len(nbL) {
+					t.Fatalf("n=%d q=%d k=%d: brute (%d, %v) vs lsh (%d, %v)",
+						n, q, k, len(nbB), kdB, len(nbL), kdL)
+				}
+				for i := range nbB {
+					if nbB[i] != nbL[i] {
+						t.Fatalf("n=%d q=%d k=%d: neighbor %d brute %v != lsh %v",
+							n, q, k, i, nbB[i], nbL[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLSHPointQueries covers KNNPoint semantics: self-match at distance
+// zero for training rows, k clamped to N, dimension-mismatch panic, and
+// exact distances for out-of-sample points.
+func TestLSHPointQueries(t *testing.T) {
+	ds := randomDataset(71, 1000, 2, 0)
+	ix, err := New(ds, []int{0, 1}, KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ix.NewScratch()
+	for q := 0; q < ds.N(); q += 37 {
+		nb, _ := ix.KNNPoint(ds.Row(q, nil), 3, sc, nil)
+		found := false
+		for _, x := range nb {
+			if x.ID == q && x.Dist == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point query at row %d did not report the row itself at distance 0: %v", q, nb)
+		}
+	}
+	if nb, kd := ix.KNNPoint([]float64{0.5, 0.5}, 0, sc, nil); len(nb) != 0 || kd != 0 {
+		t.Errorf("k=0 gave %v, %v", nb, kd)
+	}
+	if nb, _ := ix.KNNPoint([]float64{0.5, 0.5}, ds.N()+10, sc, nil); len(nb) != ds.N() {
+		t.Errorf("k clamp gave %d neighbors, want %d", len(nb), ds.N())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dimension mismatch should panic")
+			}
+		}()
+		ix.KNNPoint([]float64{1}, 1, sc, nil)
+	}()
+}
+
+// TestLSHKNNAllMatchesKNN: the batch path answers exactly what the
+// per-query path answers, regardless of worker count.
+func TestLSHKNNAllMatchesKNN(t *testing.T) {
+	ds := randomDataset(81, 600, 3, 0)
+	ix, err := New(ds, allDims(3), KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbs, kdists := ix.KNNAll(7)
+	sc := ix.NewScratch()
+	for q := 0; q < ds.N(); q++ {
+		nb, kd := ix.KNN(q, 7, sc, nil)
+		if kd != kdists[q] || len(nb) != len(nbs[q]) {
+			t.Fatalf("KNNAll[%d] disagrees with KNN", q)
+		}
+		for i := range nb {
+			if nb[i] != nbs[q][i] {
+				t.Fatalf("KNNAll nbs[%d][%d] = %v, KNN = %v", q, i, nbs[q][i], nb[i])
+			}
+		}
+	}
+}
+
+// TestLSHEdgeCases mirrors the exact backends' edge-case contract.
+func TestLSHEdgeCases(t *testing.T) {
+	ds := randomDataset(91, 5, 2, 0)
+	ix, err := New(ds, []int{0, 1}, KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ix.NewScratch()
+	if nb, kd := ix.KNN(0, 0, sc, nil); len(nb) != 0 || kd != 0 {
+		t.Errorf("k=0 gave %v, %v", nb, kd)
+	}
+	if nb, kd := ix.KNN(0, -3, sc, nil); len(nb) != 0 || kd != 0 {
+		t.Errorf("k<0 gave %v, %v", nb, kd)
+	}
+	if nb, _ := ix.KNN(0, 100, sc, nil); len(nb) != 4 {
+		t.Errorf("k clamp gave %d neighbors, want 4", len(nb))
+	}
+	one := dataset.MustNew(nil, [][]float64{{1}, {2}})
+	ixOne, err := New(one, []int{0, 1}, KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb, kd := ixOne.KNN(0, 1, ixOne.NewScratch(), nil); len(nb) != 0 || kd != 0 {
+		t.Errorf("singleton gave %v, %v", nb, kd)
+	}
+}
+
+// TestLSHTieHandling: on heavily quantized data the candidate re-rank must
+// keep the exact backends' tie semantics — every candidate at the
+// k-distance is reported, ids ascending.
+func TestLSHTieHandling(t *testing.T) {
+	r := rng.New(101)
+	n := 2000
+	cols := make([][]float64, 2)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = math.Floor(r.Float64()*8) / 8 // heavy ties
+		}
+	}
+	ds := dataset.MustNew(nil, cols)
+	ix, err := New(ds, []int{0, 1}, KindLSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ix.NewScratch()
+	for q := 0; q < n; q += 97 {
+		nb, kd := ix.KNN(q, 5, sc, nil)
+		if len(nb) < 5 {
+			t.Fatalf("q=%d: %d neighbors, want >= 5", q, len(nb))
+		}
+		for i, x := range nb {
+			if x.Dist > kd {
+				t.Fatalf("q=%d: neighbor %v beyond kdist %v", q, x, kd)
+			}
+			if i > 0 && nb[i-1].ID >= x.ID {
+				t.Fatalf("q=%d: ids not ascending", q)
+			}
+		}
+	}
+	// And the sorted result really contains every candidate at the bound:
+	// re-query and verify against a manual sort of exact distances.
+	q := 0
+	nb, kd := ix.KNN(q, 5, sc, nil)
+	var dists []float64
+	for i := 0; i < n; i++ {
+		if i != q {
+			dists = append(dists, ix.Dist(q, i))
+		}
+	}
+	sort.Float64s(dists)
+	if kd < dists[4] {
+		t.Fatalf("kdist %v below the exact 5th distance %v", kd, dists[4])
+	}
+	_ = nb
+}

@@ -474,7 +474,7 @@ func TestNthElement(t *testing.T) {
 func BenchmarkKNN(b *testing.B) {
 	ds := randomDataset(1, 10000, 3, 0)
 	dims := allDims(3)
-	for _, kind := range []Kind{KindBrute, KindKDTree} {
+	for _, kind := range []Kind{KindBrute, KindKDTree, KindLSH} {
 		ix, err := New(ds, dims, kind)
 		if err != nil {
 			b.Fatal(err)

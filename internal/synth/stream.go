@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"fmt"
+
+	"hics/internal/rng"
+	"hics/internal/subspace"
+)
+
+// Stream generates the same family of benchmark datasets as Generate but
+// emits rows one at a time instead of materializing the N×D column
+// matrix, so arbitrarily large datasets can be written to disk with O(D)
+// memory. Each group of correlated attributes draws from its own derived
+// random stream, and the per-group outlier rewrites are precomputed up
+// front, so row i is fully determined before yield is called.
+//
+// yield receives the object id, the reused row buffer (valid only for the
+// duration of the call), and the ground-truth outlier flag. A non-nil
+// error from yield aborts generation and is returned verbatim. Stream
+// returns the planted correlated attribute groups.
+//
+// Stream draws from differently-labeled substreams than Generate, so the
+// two constructions are not value-identical for the same Config; they are
+// statistically equivalent.
+func Stream(cfg Config, yield func(id int, row []float64, outlier bool) error) ([]subspace.Subspace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.D < 2 {
+		return nil, fmt.Errorf("synth: need at least 2 attributes, got %d", cfg.D)
+	}
+	if cfg.N < 4*cfg.OutliersPerSubspace {
+		return nil, fmt.Errorf("synth: N=%d too small for %d outliers per subspace", cfg.N, cfg.OutliersPerSubspace)
+	}
+	r := rng.New(cfg.Seed)
+
+	// Attribute partition: identical construction to Generate, on the
+	// parent stream.
+	perm := r.Perm(cfg.D)
+	var groups []subspace.Subspace
+	for at := 0; at < cfg.D; {
+		size := r.IntRange(cfg.MinSubspaceDim, cfg.MaxSubspaceDim)
+		if rest := cfg.D - at; size > rest {
+			size = rest
+		}
+		if size == 1 && len(groups) > 0 {
+			last := groups[len(groups)-1]
+			groups[len(groups)-1] = subspace.New(append(last.Clone(), perm[at])...)
+			at++
+			continue
+		}
+		groups = append(groups, subspace.New(perm[at:at+size]...))
+		at += size
+	}
+
+	gens := make([]*groupGen, len(groups))
+	for gi, g := range groups {
+		gens[gi] = newGroupGen(r.Derive(uint64(gi)+1), g, cfg)
+	}
+
+	row := make([]float64, cfg.D)
+	for i := 0; i < cfg.N; i++ {
+		outlier := false
+		for _, gg := range gens {
+			if gg.fillRow(row, i) {
+				outlier = true
+			}
+		}
+		if err := yield(i, row, outlier); err != nil {
+			return nil, err
+		}
+	}
+	return groups, nil
+}
+
+// groupGen holds one correlated group's cluster layout, its private
+// random stream, and the precomputed outlier rewrites.
+type groupGen struct {
+	r       *rng.RNG
+	g       subspace.Subspace
+	k       int
+	centers []float64
+	stddev  float64
+	// outliers maps object id to its rewritten coordinates, in the
+	// group's dimension order.
+	outliers map[int][]float64
+}
+
+func newGroupGen(r *rng.RNG, g subspace.Subspace, cfg Config) *groupGen {
+	gg := &groupGen{r: r, g: g, stddev: cfg.ClusterStddev}
+	gg.k = r.IntRange(cfg.MinClusters, cfg.MaxClusters)
+	gg.centers = make([]float64, gg.k)
+	for c := range gg.centers {
+		gg.centers[c] = 0.15 + (0.7*float64(c)+0.35*r.Float64())/float64(gg.k)
+	}
+
+	if gg.k < 2 || g.Dim() < 2 {
+		return gg // cannot construct non-trivial outliers without choice
+	}
+
+	// Precompute the outlier rewrites on a derived substream so the
+	// per-row draws below stay in a fixed order regardless of which ids
+	// were chosen.
+	or := r.Derive(0xa11ce)
+	gg.outliers = make(map[int][]float64, cfg.OutliersPerSubspace)
+	for o := 0; o < cfg.OutliersPerSubspace; o++ {
+		id := or.Intn(cfg.N)
+		for gg.outliers[id] != nil {
+			id = or.Intn(cfg.N)
+		}
+		ca := or.Intn(gg.k)
+		cb := or.Intn(gg.k - 1)
+		if cb >= ca {
+			cb++
+		}
+		split := or.IntRange(1, g.Dim()-1)
+		dimPerm := or.Perm(g.Dim())
+		coords := make([]float64, g.Dim())
+		for idx, di := range dimPerm {
+			c := gg.centers[ca]
+			if idx >= split {
+				c = gg.centers[cb]
+			}
+			coords[di] = clamp01(or.NormalScaled(c, gg.stddev/2))
+		}
+		gg.outliers[id] = coords
+	}
+	return gg
+}
+
+// fillRow writes object i's values for this group's attributes into row
+// and reports whether i is one of the group's planted outliers. The
+// cluster draw happens unconditionally so the stream position after row
+// i is independent of the outlier set.
+func (gg *groupGen) fillRow(row []float64, i int) bool {
+	c := gg.centers[gg.r.Intn(gg.k)]
+	for _, d := range gg.g {
+		row[d] = clamp01(gg.r.NormalScaled(c, gg.stddev))
+	}
+	if coords := gg.outliers[i]; coords != nil {
+		for di, d := range gg.g {
+			row[d] = coords[di]
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStreamShapeAndLabels: the streaming generator covers every
+// attribute, keeps values in [0, 1], and plants outliers in every group
+// that can hold them.
+func TestStreamShapeAndLabels(t *testing.T) {
+	cfg := Config{N: 800, D: 12, Seed: 7}
+	rows := 0
+	outliers := 0
+	var lastID int = -1
+	groups, err := Stream(cfg, func(id int, row []float64, outlier bool) error {
+		if id != lastID+1 {
+			t.Fatalf("ids not sequential: %d after %d", id, lastID)
+		}
+		lastID = id
+		if len(row) != cfg.D {
+			t.Fatalf("row %d has %d values, want %d", id, len(row), cfg.D)
+		}
+		for j, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("row %d attr %d = %v outside [0,1]", id, j, v)
+			}
+		}
+		rows++
+		if outlier {
+			outliers++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != cfg.N {
+		t.Errorf("yielded %d rows, want %d", rows, cfg.N)
+	}
+	covered := 0
+	for _, g := range groups {
+		covered += g.Dim()
+		if g.Validate(cfg.D) != nil {
+			t.Errorf("invalid group %v", g)
+		}
+	}
+	if covered != cfg.D {
+		t.Errorf("groups cover %d attributes, want %d", covered, cfg.D)
+	}
+	if outliers == 0 {
+		t.Error("no outliers planted")
+	}
+	// Per group at most OutliersPerSubspace (default 5) rewrites; overlaps
+	// across groups only shrink the flagged count.
+	if max := 5 * len(groups); outliers > max {
+		t.Errorf("%d outliers flagged, at most %d possible", outliers, max)
+	}
+}
+
+// TestStreamDeterministic: the same config always streams the identical
+// sequence of rows, flags, and groups.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := Config{N: 300, D: 9, Seed: 11}
+	type rec struct {
+		row     []float64
+		outlier bool
+	}
+	collect := func() []rec {
+		var got []rec
+		_, err := Stream(cfg, func(id int, row []float64, outlier bool) error {
+			got = append(got, rec{append([]float64(nil), row...), outlier})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i].outlier != b[i].outlier {
+			t.Fatalf("row %d outlier flag differs across runs", i)
+		}
+		for j := range a[i].row {
+			if a[i].row[j] != b[i].row[j] {
+				t.Fatalf("row %d attr %d differs across runs: %v vs %v", i, j, a[i].row[j], b[i].row[j])
+			}
+		}
+	}
+}
+
+// TestStreamYieldError: a yield error aborts generation and surfaces
+// verbatim.
+func TestStreamYieldError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	_, err := Stream(Config{N: 100, D: 4, Seed: 3}, func(id int, row []float64, outlier bool) error {
+		calls++
+		if id == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 11 {
+		t.Fatalf("yield called %d times after abort at row 10", calls)
+	}
+}
+
+// TestStreamRejectsBadConfig mirrors Generate's validation.
+func TestStreamRejectsBadConfig(t *testing.T) {
+	if _, err := Stream(Config{N: 100, D: 1, Seed: 1}, nil); err == nil {
+		t.Error("D=1 should be rejected")
+	}
+	if _, err := Stream(Config{N: 10, D: 8, OutliersPerSubspace: 5, Seed: 1}, nil); err == nil {
+		t.Error("N too small for outlier count should be rejected")
+	}
+}
