@@ -15,7 +15,15 @@
 // -min-time excludes benchmarks whose baseline iteration is shorter than
 // the given duration: the BENCH files are recorded with -benchtime 1x,
 // where sub-millisecond timings carry too much single-iteration noise to
-// gate on.
+// gate on. When a file holds repeated results for one benchmark (a
+// `-count N` recording), the fastest repeat is used — the minimum is the
+// standard noise-robust statistic for wall-clock benchmarks, since
+// interference from a shared machine only ever adds time.
+//
+// An input that parses to zero benchmark results (for example a file
+// recorded while every benchmark was skipped) produces a loud warning
+// instead of a silent "0 compared" pass — an empty comparison is a
+// recording mistake, not a clean bill.
 package main
 
 import (
@@ -67,14 +75,19 @@ func run(args []string, stdout io.Writer) (int, error) {
 		matchRE = re
 	}
 
-	base, err := parseFile(fs.Arg(0))
+	base, baseSkips, err := parseFile(fs.Arg(0))
 	if err != nil {
 		return 2, err
 	}
-	cur, err := parseFile(fs.Arg(1))
+	cur, curSkips, err := parseFile(fs.Arg(1))
 	if err != nil {
 		return 2, err
 	}
+	// An input with zero results would silently compare nothing and exit
+	// 0 — a recording mistake (benchmarks skipped, wrong -bench pattern)
+	// masquerading as a clean bill. Say so out loud instead.
+	warnEmpty(stdout, fs.Arg(0), "baseline", base, baseSkips)
+	warnEmpty(stdout, fs.Arg(1), "current", cur, curSkips)
 
 	rep := diff(base, cur, *threshold, float64(*minTime/time.Nanosecond), matchRE)
 	for _, l := range rep.lines {
@@ -101,13 +114,27 @@ type event struct {
 // names containing dashes (sub-benchmarks) survive intact.
 var resultRE = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 
-// parseFile extracts name → ns/op from a `go test -json` stream. Names
-// are qualified by package so equally-named benchmarks in different
-// packages cannot collide.
-func parseFile(path string) (map[string]float64, error) {
+// warnEmpty flags an input file that produced no benchmark results.
+func warnEmpty(stdout io.Writer, path, role string, results map[string]float64, skips int) {
+	if len(results) > 0 {
+		return
+	}
+	detail := "no benchmark results"
+	if skips > 0 {
+		detail = fmt.Sprintf("only SKIPs (%d) and no benchmark results", skips)
+	}
+	fmt.Fprintf(stdout, "warning: %s %s contains %s — nothing will be compared; re-record it with -bench . -benchtime 1x -count 3\n", role, path, detail)
+}
+
+// parseFile extracts name → ns/op from a `go test -json` stream, along
+// with the number of skipped tests/benchmarks seen. Names are qualified
+// by package so equally-named benchmarks in different packages cannot
+// collide. Repeated results for one name (-count recordings) collapse to
+// the fastest repeat.
+func parseFile(path string) (map[string]float64, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	// test2json splits one benchmark result line across several output
@@ -119,12 +146,16 @@ func parseFile(path string) (map[string]float64, error) {
 	// line always share the Test field — then match whole lines.
 	type key struct{ pkg, test string }
 	buf := map[key]*strings.Builder{}
+	skips := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		var ev event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return nil, fmt.Errorf("%s: not a go test -json stream: %v", path, err)
+			return nil, 0, fmt.Errorf("%s: not a go test -json stream: %v", path, err)
+		}
+		if ev.Action == "skip" && ev.Test != "" {
+			skips++
 		}
 		if ev.Action != "output" {
 			continue
@@ -138,7 +169,7 @@ func parseFile(path string) (map[string]float64, error) {
 		b.WriteString(ev.Output)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, 0, fmt.Errorf("%s: %v", path, err)
 	}
 	out := map[string]float64{}
 	for k, b := range buf {
@@ -152,10 +183,13 @@ func parseFile(path string) (map[string]float64, error) {
 			if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
 				continue
 			}
-			out[k.pkg+"."+name] = ns
+			qual := k.pkg + "." + name
+			if prev, ok := out[qual]; !ok || ns < prev {
+				out[qual] = ns
+			}
 		}
 	}
-	return out, nil
+	return out, skips, nil
 }
 
 // trimProcSuffix drops the -GOMAXPROCS suffix go test appends to

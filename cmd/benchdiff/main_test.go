@@ -31,7 +31,7 @@ func TestParseFile(t *testing.T) {
 		"BenchmarkFit/exact-flat":  44e9,
 		"BenchmarkKNN/kind=kdtree": 5300,
 	})
-	got, err := parseFile(path)
+	got, _, err := parseFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestParseFileSplitEvents(t *testing.T) {
 	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := parseFile(path)
+	got, _, err := parseFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +73,31 @@ func TestParseFileSplitEvents(t *testing.T) {
 	}
 	if ns := got["hics.BenchmarkOther"]; ns != 7688 {
 		t.Errorf("single-event benchmark = %v, want 7688 (keys: %v)", ns, got)
+	}
+}
+
+// TestParseFileMinOfRepeats: a `-count N` recording emits one result
+// line per repeat under the same name; parseFile must keep the fastest,
+// not the last — shared-machine interference only ever adds time, so the
+// minimum is the stable statistic to gate on.
+func TestParseFileMinOfRepeats(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"hics"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkRepeated","Output":"BenchmarkRepeated-8 \t       1\t 120000 ns/op\n"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkRepeated","Output":"BenchmarkRepeated-8 \t       1\t  90000 ns/op\n"}`,
+		`{"Action":"output","Package":"hics","Test":"BenchmarkRepeated","Output":"BenchmarkRepeated-8 \t       1\t 150000 ns/op\n"}`,
+		`{"Action":"pass","Package":"hics"}`,
+	}, "\n") + "\n"
+	path := filepath.Join(t.TempDir(), "repeats.json")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["hics.BenchmarkRepeated"]; ns != 90000 {
+		t.Errorf("repeated benchmark = %v, want the 90000 minimum (keys: %v)", ns, got)
 	}
 }
 
@@ -190,5 +215,43 @@ func TestTrimProcSuffix(t *testing.T) {
 		if got := trimProcSuffix(in); got != want {
 			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestWarnOnSkipOnlyBaseline: a baseline recorded while benchmarks were
+// skipped must produce a loud warning, not a silent "0 compared" pass.
+func TestWarnOnSkipOnlyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	skipOnly := `{"Action":"skip","Package":"p","Test":"BenchmarkFoo"}
+{"Action":"skip","Package":"p","Test":"BenchmarkBar"}
+`
+	if err := os.WriteFile(baseline, []byte(skipOnly), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := filepath.Join(dir, "cur.json")
+	curStream := `{"Action":"output","Package":"p","Test":"BenchmarkFoo","Output":"BenchmarkFoo-4 1 100 ns/op\n"}
+`
+	if err := os.WriteFile(current, []byte(curStream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run([]string{baseline, current}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (a warning, not a failure)", code)
+	}
+	if !strings.Contains(out.String(), "warning:") || !strings.Contains(out.String(), "only SKIPs (2)") {
+		t.Errorf("output missing skip-only warning:\n%s", out.String())
+	}
+	// A healthy baseline must not warn.
+	out.Reset()
+	if _, err := run([]string{current, current}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "warning:") {
+		t.Errorf("healthy inputs must not warn:\n%s", out.String())
 	}
 }

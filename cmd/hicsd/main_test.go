@@ -307,3 +307,141 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Errorf("-manifest without -models-dir: err = %v, want mention of -models-dir", err)
 	}
 }
+
+// TestRoleFlagValidation checks the role/topology flags are validated
+// at the command boundary.
+func TestRoleFlagValidation(t *testing.T) {
+	model := writeModel(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-role", "bogus", "-model", model}, "-role"},
+		{[]string{"-role", "front"}, "-shards"},
+		{[]string{"-role", "front", "-shards", "127.0.0.1:1", "-model", model}, "holds no models"},
+		{[]string{"-role", "front", "-shards", "127.0.0.1:1", "-models-dir", t.TempDir()}, "holds no models"},
+		{[]string{"-model", model, "-shards", "127.0.0.1:1"}, "-role front"},
+		{[]string{"-model", model, "-stream-max-bytes", "-1"}, "-stream-max-bytes"},
+		{[]string{"-model", model, "-max-streams", "-1"}, "-max-streams"},
+		{[]string{"-models-dir", t.TempDir(), "-max-streams", "2"}, "-max-streams"},
+	}
+	for _, c := range cases {
+		err := run(context.Background(), c.args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) err = %v, want mention of %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestShardRoleDrainsOnSignal: a -role shard process answering SIGTERM
+// must advertise "draining" on /healthz (503) through the announce
+// window before the listener closes, then exit cleanly.
+func TestShardRoleDrainsOnSignal(t *testing.T) {
+	model := writeModel(t)
+	addr, cancel, done := startServer(t,
+		[]string{"-role", "shard", "-model", model, "-drain-announce", "600ms"}, http.StatusOK)
+	cancel()
+
+	// During the announce window /healthz must flip to 503 "draining".
+	sawDraining := false
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			break // listener already closed (window elapsed)
+		}
+		var h struct {
+			Status string `json:"status"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && h.Status == "draining" {
+			sawDraining = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Error("shard never advertised draining on /healthz during the announce window")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shard drain exit returned %v, want nil", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("shard did not exit after drain")
+	}
+}
+
+// TestFrontRoleRoutesToShard: a front over one standalone backend
+// proxies /score and aggregates shard health on its own /healthz.
+func TestFrontRoleRoutesToShard(t *testing.T) {
+	model := writeModel(t)
+	backend, cancelB, doneB := startServer(t, []string{"-model", model}, http.StatusOK)
+	defer stopServer(t, cancelB, doneB)
+
+	front, cancelF, doneF := startServer(t,
+		[]string{"-role", "front", "-shards", backend, "-probe-interval", "100ms"}, http.StatusOK)
+	defer stopServer(t, cancelF, doneF)
+
+	status, score := scoreOne(t, front, "")
+	if status != http.StatusOK {
+		t.Fatalf("proxied /score status = %d, want 200", status)
+	}
+	if score <= 0 {
+		t.Errorf("proxied score = %v, want > 0", score)
+	}
+	resp, err := http.Get("http://" + front + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Role   string `json:"role"`
+		Shards []struct {
+			Shard   string `json:"shard"`
+			Healthy bool   `json:"healthy"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Role != "front" || len(h.Shards) != 1 || !h.Shards[0].Healthy {
+		t.Errorf("front /healthz = %+v, want ok/front with one healthy shard", h)
+	}
+}
+
+// TestDebugAddrServesPprof: -debug-addr exposes pprof on its own
+// listener, and the serving port does not grow a profiling surface.
+func TestDebugAddrServesPprof(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := ln.Addr().String()
+	ln.Close()
+
+	model := writeModel(t)
+	addr, cancel, done := startServer(t,
+		[]string{"-model", model, "-debug-addr", debugAddr}, http.StatusOK)
+	defer stopServer(t, cancel, done)
+
+	resp, err := http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof listener unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ on -debug-addr = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("serving port must not expose /debug/pprof/")
+	}
+}

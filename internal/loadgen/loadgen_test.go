@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hics"
+	"hics/internal/fleet"
+	"hics/internal/rng"
+	"hics/internal/serve"
+)
+
+var (
+	testModelOnce sync.Once
+	testModel     *hics.Model
+)
+
+// model fits one small model shared across the package's tests.
+func model(t *testing.T) *hics.Model {
+	t.Helper()
+	testModelOnce.Do(func() {
+		r := rng.New(7)
+		rows := make([][]float64, 150)
+		for i := range rows {
+			rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+		}
+		m, err := hics.Fit(rows, hics.Options{M: 10, Seed: 7, TopK: 3})
+		if err != nil {
+			panic(err)
+		}
+		testModel = m
+	})
+	return testModel
+}
+
+// newTarget serves a single-model hicsd handler with the given stream
+// quota (0 = unlimited).
+func newTarget(t *testing.T, maxStreams int) *httptest.Server {
+	t.Helper()
+	fl := fleet.New(fleet.Config{})
+	if err := fl.Put(fleet.DefaultName, model(t), fleet.Quota{MaxStreams: maxStreams}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Restore(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(serve.Config{Fleet: fl}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestStreamLoad(t *testing.T) {
+	ts := newTarget(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, Config{Target: ts.URL, Mode: "stream", Sessions: 3, Rows: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsSent != 60 || rep.RecordsReceived != 60 {
+		t.Errorf("rows sent %d records %d, want 60/60", rep.RowsSent, rep.RecordsReceived)
+	}
+	if rep.Errors != 0 || rep.AdmissionRetries != 0 {
+		t.Errorf("errors %d retries %d, want 0/0", rep.Errors, rep.AdmissionRetries)
+	}
+	if rep.LatencyMS.Max <= 0 || rep.LatencyMS.P50 > rep.LatencyMS.Max {
+		t.Errorf("latency percentiles inconsistent: %+v", rep.LatencyMS)
+	}
+	if rep.RowsPerSecond <= 0 {
+		t.Errorf("throughput %v, want > 0", rep.RowsPerSecond)
+	}
+	human := rep.Human()
+	for _, want := range []string{"records received 60", "latency ms", "throughput"} {
+		if !strings.Contains(human, want) {
+			t.Errorf("Human() missing %q:\n%s", want, human)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report must serialize: %v", err)
+	}
+}
+
+func TestStreamLoadRated(t *testing.T) {
+	ts := newTarget(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{Target: ts.URL, Sessions: 1, Rows: 6, Rate: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 rows at 50 rows/s paces the session to ~100ms.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("rated run finished in %v, want >= 80ms of pacing", elapsed)
+	}
+	if rep.RecordsReceived != 6 {
+		t.Errorf("records %d, want 6", rep.RecordsReceived)
+	}
+}
+
+// TestStreamLoadQuotaRetry: with a 1-stream admission quota and 2
+// concurrent sessions, the refused session must back off, retry under a
+// rotated key, and still complete all rows.
+func TestStreamLoadQuotaRetry(t *testing.T) {
+	ts := newTarget(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, Config{Target: ts.URL, Sessions: 2, Rows: 30, Rate: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordsReceived != 60 {
+		t.Errorf("records %d, want 60 (both sessions complete eventually)", rep.RecordsReceived)
+	}
+	if rep.AdmissionRetries == 0 {
+		t.Error("expected at least one 429 admission retry under a 1-stream quota")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors %d, want 0 — quota bounces are retries, not errors", rep.Errors)
+	}
+}
+
+func TestScoreLoad(t *testing.T) {
+	ts := newTarget(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, Config{Target: ts.URL, Mode: "score", Sessions: 2, Rows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordsReceived != 20 || rep.Errors != 0 {
+		t.Errorf("records %d errors %d, want 20/0", rep.RecordsReceived, rep.Errors)
+	}
+	if rep.LatencyMS.P99 <= 0 {
+		t.Errorf("latency percentiles empty: %+v", rep.LatencyMS)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{}); err == nil {
+		t.Error("missing target should fail")
+	}
+	if _, err := Run(ctx, Config{Target: "http://x", Mode: "bogus"}); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if _, err := Run(ctx, Config{Target: "http://x", Rate: -1}); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p := percentiles(nil)
+	if p.Max != 0 {
+		t.Errorf("empty percentiles = %+v, want zeros", p)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..100
+	}
+	p = percentiles(ms)
+	if p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Errorf("percentiles of 1..100 = %+v, want 50/90/99/100", p)
+	}
+}

@@ -8,6 +8,11 @@ import (
 	"testing"
 
 	"hics/internal/metrics"
+
+	// Register the shard-routing and load-generator metric families so
+	// the doc check covers every series this repo can expose.
+	_ "hics/internal/loadgen"
+	_ "hics/internal/shard"
 )
 
 // docRow is one parsed table row of docs/metrics.md.

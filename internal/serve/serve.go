@@ -12,8 +12,11 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hics"
@@ -108,6 +111,12 @@ type Config struct {
 	// so scoring keeps flowing during a refit. Clients may override with
 	// ?async=true|false.
 	StreamAsync bool
+	// StreamMaxBytes caps the cumulative input bytes of one /stream
+	// session (0 = 64 MiB, the historical limit). Clients may lower —
+	// never raise — their own session's cap with ?max_bytes=N. An
+	// exhausted session ends with an explicit error record naming the
+	// limit.
+	StreamMaxBytes int64
 	// Logger receives one structured record per completed request
 	// (method, path, endpoint, status, duration, request ID) plus
 	// endpoint-specific events, all carrying the per-request ID the
@@ -355,10 +364,11 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// maxRequestBytes bounds a /score, /rank, /stream or model-upload body; a
-// million-point batch is a mistake, not a query. For /stream it caps the
-// cumulative session input — an exhausted stream ends with an explicit
-// error record naming this limit.
+// maxRequestBytes bounds a /score, /rank or model-upload body; a
+// million-point batch is a mistake, not a query. It is also the default
+// cumulative session cap of /stream (Config.StreamMaxBytes overrides) —
+// an exhausted stream ends with an explicit error record naming the
+// limit.
 const maxRequestBytes = 64 << 20
 
 // NewHandler returns the hicsd HTTP handler serving the given model with
@@ -368,14 +378,72 @@ func NewHandler(m *hics.Model) http.Handler {
 	return New(Config{Model: m})
 }
 
-// server binds the configuration to its resolved fleet.
+// server binds the configuration to its resolved fleet, plus the drain
+// state shared by every open stream session.
 type server struct {
 	cfg Config
 	fl  *fleet.Fleet
+
+	draining atomic.Bool
+	sessMu   sync.Mutex
+	sessions map[*http.ResponseController]struct{}
+}
+
+// Server is the hicsd handler with its lifecycle control surface: Drain
+// moves it into draining mode ahead of shutdown. It serves exactly what
+// New serves.
+type Server struct {
+	http.Handler
+	s *server
+}
+
+// Drain moves the server into draining mode: /healthz turns 503 with
+// status "draining" (so load balancers stop routing here), new /stream
+// sessions are refused with 503 + Retry-After, and every open stream
+// session is kicked — it stops reading input, emits a terminal
+// {"error": ...} record after the rows already scored, and closes.
+// Unary endpoints keep serving so in-flight work completes; call
+// http.Server.Shutdown afterwards to finish. Idempotent.
+func (srv *Server) Drain() {
+	if srv.s.draining.Swap(true) {
+		return
+	}
+	srv.s.sessMu.Lock()
+	defer srv.s.sessMu.Unlock()
+	for rc := range srv.s.sessions {
+		// Unblocks the session goroutine waiting in a body read; the net.Conn
+		// deadline is safe to set from here.
+		_ = rc.SetReadDeadline(time.Now())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (srv *Server) Draining() bool { return srv.s.draining.Load() }
+
+// addSession registers an open stream session for drain kicks. When the
+// server is already draining the session is kicked immediately, closing
+// the register/drain race: either path guarantees the read deadline
+// fires.
+func (s *server) addSession(rc *http.ResponseController) {
+	s.sessMu.Lock()
+	s.sessions[rc] = struct{}{}
+	s.sessMu.Unlock()
+	if s.draining.Load() {
+		_ = rc.SetReadDeadline(time.Now())
+	}
+}
+
+func (s *server) removeSession(rc *http.ResponseController) {
+	s.sessMu.Lock()
+	delete(s.sessions, rc)
+	s.sessMu.Unlock()
 }
 
 // New returns the hicsd HTTP handler for the given configuration.
-func New(cfg Config) http.Handler {
+func New(cfg Config) http.Handler { return NewServer(cfg) }
+
+// NewServer returns the hicsd handler together with its drain control.
+func NewServer(cfg Config) *Server {
 	fl := cfg.Fleet
 	if fl == nil {
 		// Pre-fleet surface: a single in-memory model under the default
@@ -389,7 +457,7 @@ func New(cfg Config) http.Handler {
 			}
 		}
 	}
-	s := &server{cfg: cfg, fl: fl}
+	s := &server{cfg: cfg, fl: fl, sessions: map[*http.ResponseController]struct{}{}}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -411,7 +479,7 @@ func New(cfg Config) http.Handler {
 	// goroutines outliving their /stream push — stay attributable. The
 	// handler reports its resolved model through the shared requestInfo,
 	// read back here after ServeHTTP returns on the same goroutine.
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := newRequestID()
 		log := cfg.logger().With("request_id", id)
@@ -435,6 +503,7 @@ func New(cfg Config) http.Handler {
 			"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
 			"status", status, "duration", elapsed, "model", ri.model)
 	})
+	return &Server{Handler: h, s: s}
 }
 
 // labelRoutedModel pre-labels an unnamed routed request with the
@@ -501,6 +570,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			h.Attributes = st.Attributes
 			h.Subspaces = st.Subspaces
 		}
+	}
+	if s.draining.Load() {
+		// Draining outranks everything: orchestrators must stop routing
+		// here regardless of how healthy the fleet still looks.
+		h.Status = "draining"
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
 	}
 	if !s.fl.Ready() {
 		h.Status = "starting"
@@ -805,6 +882,31 @@ func debugVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "\n}\n")
 }
 
+// DrainingStreamError is the terminal NDJSON error record text a
+// draining server ends open stream sessions with. The shard front
+// matches it to attach routing advice for the client.
+const DrainingStreamError = "server draining: stream closed after the rows already scored; reconnect to continue"
+
+// streamByteLimit resolves a /stream session's cumulative input cap:
+// the configured StreamMaxBytes (default 64 MiB), lowered — never
+// raised — by the ?max_bytes query parameter.
+func (s *server) streamByteLimit(r *http.Request) (int64, error) {
+	limit := s.cfg.StreamMaxBytes
+	if limit <= 0 {
+		limit = maxRequestBytes
+	}
+	if q := r.URL.Query().Get("max_bytes"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("query parameter max_bytes: %q is not a positive integer", q)
+		}
+		if v < limit {
+			limit = v
+		}
+	}
+	return limit, nil
+}
+
 // streamOptions resolves a /stream request's detector options: the
 // server-configured defaults overridden by the window / refit_every /
 // async query parameters. A zero window derives from the routed model's
@@ -859,7 +961,17 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining; retry against another replica"})
+		return
+	}
 	labelRoutedModel(r)
+	maxBytes, err := s.streamByteLimit(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	h, ok := s.acquire(w, r, fleet.UseStream)
 	if !ok {
 		return
@@ -904,17 +1016,36 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	// Register for drain kicks: Drain sets our read deadline, so the
+	// blocked body read below returns and the terminal record goes out.
+	s.addSession(rc)
+	defer s.removeSession(rc)
+	// The session loop is allocation-free per row: the parser reuses its
+	// line and row buffers, PushAppend scores into the reused results
+	// slice, and records are encoded append-style into one reused output
+	// buffer written (and flushed) once per arrival.
+	sp := newStreamParser(http.MaxBytesReader(w, r.Body, maxBytes))
+	var (
+		results []hics.StreamResult
+		encBuf  []byte
+	)
 	refitsSeen := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			writeStreamError(w, rc, err)
 			return
 		}
-		var row []float64
-		if err := dec.Decode(&row); err != nil {
+		row, err := sp.next()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				break
+			}
+			if s.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded) {
+				// Drain kicked the body read. Everything scored so far has
+				// been flushed; the terminal record tells the client (or the
+				// front proxying it) to reconnect elsewhere.
+				writeStreamError(w, rc, errors.New(DrainingStreamError))
+				return
 			}
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
@@ -925,7 +1056,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		start := time.Now()
-		results, err := st.Push(ctx, row)
+		results, err = st.PushAppend(ctx, row, results[:0])
 		if err != nil {
 			writeStreamError(w, rc, err)
 			return
@@ -935,12 +1066,25 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			mRefits.With(model).Add(int64(n - refitsSeen))
 			refitsSeen = n
 		}
+		encBuf = encBuf[:0]
 		for _, res := range results {
-			if !writeStreamRecord(w, StreamRecord{Index: res.Index, Score: res.Score, Refits: res.Refits}) {
+			encBuf, err = appendStreamRecord(encBuf, StreamRecord{Index: res.Index, Score: res.Score, Refits: res.Refits})
+			if err != nil {
+				// A non-representable score (LOF can be +Inf on degenerate
+				// windows) terminates the stream with an error record, after
+				// the records already encoded this arrival.
+				mErrors.Add(1)
+				msg, _ := json.Marshal(errorResponse{Error: fmt.Sprintf("row %d: score not representable in JSON: %v", res.Index, err)})
+				encBuf = append(encBuf, msg...)
+				encBuf = append(encBuf, '\n')
+				_, _ = w.Write(encBuf)
 				return
 			}
 		}
-		if len(results) > 0 {
+		if len(encBuf) > 0 {
+			if _, err := w.Write(encBuf); err != nil {
+				return
+			}
 			_ = rc.Flush()
 		}
 	}
@@ -953,21 +1097,6 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if n := st.Refits(); n > refitsSeen {
 		mRefits.With(model).Add(int64(n - refitsSeen))
 	}
-}
-
-// writeStreamRecord emits one NDJSON record; a non-representable score
-// (LOF can be +Inf on degenerate windows) becomes an error record.
-// Returns false when the stream should stop.
-func writeStreamRecord(w io.Writer, rec StreamRecord) bool {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		data, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("row %d: score not representable in JSON: %v", rec.Index, err)})
-		mErrors.Add(1)
-		_, _ = w.Write(append(data, '\n'))
-		return false
-	}
-	_, werr := w.Write(append(data, '\n'))
-	return werr == nil
 }
 
 // writeStreamError terminates an NDJSON stream with an {"error": ...}

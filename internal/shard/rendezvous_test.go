@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func mustMap(t *testing.T, shards ...string) *Map {
+	t.Helper()
+	m, err := NewMap(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestOwnerDeterministicAcrossProcesses pins placement to golden values:
+// the weight function is pure FNV-1a over fixed bytes, so any process on
+// any architecture must agree with the owners recorded here. A failure
+// means placement changed — a breaking rollout event, never a refactor
+// detail.
+func TestOwnerDeterministicGolden(t *testing.T) {
+	m := mustMap(t, "shard-a:9001", "shard-b:9002", "shard-c:9003")
+	golden := map[string]string{
+		"alice":     "shard-b:9002",
+		"bob":       "shard-c:9003",
+		"carol":     "shard-a:9001",
+		"session-1": "shard-a:9001",
+		"session-2": "shard-c:9003",
+		"session-3": "shard-c:9003",
+		"":          "shard-c:9003",
+		"10.0.0.7":  "shard-b:9002",
+	}
+	for key, want := range golden {
+		if got := m.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestOwnerOrderIndependent: the construction order of the shard list
+// must not affect placement.
+func TestOwnerOrderIndependent(t *testing.T) {
+	a := mustMap(t, "s1:1", "s2:2", "s3:3", "s4:4")
+	b := mustMap(t, "s4:4", "s2:2", "s3:3", "s1:1")
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs with shard order (%q vs %q)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRankIsOwnerFirstPermutation: Rank starts at the owner and is a
+// permutation of the membership.
+func TestRankIsOwnerFirstPermutation(t *testing.T) {
+	m := mustMap(t, "a:1", "b:2", "c:3", "d:4", "e:5")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		rank := m.Rank(key)
+		if rank[0] != m.Owner(key) {
+			t.Fatalf("key %q: rank[0] = %q, owner %q", key, rank[0], m.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range rank {
+			seen[s] = true
+		}
+		if len(rank) != m.Len() || len(seen) != m.Len() {
+			t.Fatalf("key %q: rank %v is not a permutation of the membership", key, rank)
+		}
+	}
+}
+
+// TestRemoveShardMovesOnlyItsKeys: removing one shard of n reassigns
+// exactly the keys it owned (~1/n of the keyspace) and no others — the
+// rendezvous stability property that makes membership changes cheap.
+func TestRemoveShardMovesOnlyItsKeys(t *testing.T) {
+	shards := []string{"s1:1", "s2:2", "s3:3", "s4:4", "s5:5"}
+	before := mustMap(t, shards...)
+	after := mustMap(t, shards[1:]...) // drop s1:1
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == "s1:1" {
+			moved++
+			continue // its keys must move somewhere
+		}
+		if ob != oa {
+			t.Fatalf("key %q moved %q -> %q though its owner stayed a member", key, ob, oa)
+		}
+	}
+	want := float64(keys) / float64(len(shards))
+	if frac := math.Abs(float64(moved)-want) / want; frac > 0.15 {
+		t.Fatalf("removing 1 of %d shards moved %d of %d keys, want ~%.0f (+-15%%)", len(shards), moved, keys, want)
+	}
+}
+
+// TestAddShardStealsOnlyItsKeys: a new member takes ~1/(n+1) of the
+// keys, all of them, and every moved key moves to it.
+func TestAddShardStealsOnlyItsKeys(t *testing.T) {
+	before := mustMap(t, "s1:1", "s2:2", "s3:3", "s4:4", "s5:5")
+	after := mustMap(t, "s1:1", "s2:2", "s3:3", "s4:4", "s5:5", "s6:6")
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == oa {
+			continue
+		}
+		if oa != "s6:6" {
+			t.Fatalf("key %q moved %q -> %q, but only the new shard may steal keys", key, ob, oa)
+		}
+		moved++
+	}
+	want := float64(keys) / 6
+	if frac := math.Abs(float64(moved)-want) / want; frac > 0.15 {
+		t.Fatalf("adding a 6th shard moved %d of %d keys, want ~%.0f (+-15%%)", moved, keys, want)
+	}
+}
+
+// TestOwnerBalance: the keyspace spreads evenly across members.
+func TestOwnerBalance(t *testing.T) {
+	m := mustMap(t, "a:1", "b:2", "c:3")
+	counts := map[string]int{}
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[m.Owner(fmt.Sprintf("user-%d", i))]++
+	}
+	want := float64(keys) / 3
+	for s, c := range counts {
+		if frac := math.Abs(float64(c)-want) / want; frac > 0.1 {
+			t.Fatalf("shard %q owns %d of %d keys, want ~%.0f (+-10%%)", s, c, keys, want)
+		}
+	}
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(nil); err == nil {
+		t.Error("NewMap(nil) should fail")
+	}
+	if _, err := NewMap([]string{"a:1", ""}); err == nil {
+		t.Error("empty shard name should fail")
+	}
+	m := mustMap(t, "a:1", "a:1", "b:2")
+	if m.Len() != 2 {
+		t.Errorf("duplicates not collapsed: %v", m.Shards())
+	}
+}

@@ -184,6 +184,15 @@ func (d *Detector) timedRefit(ctx context.Context, mode string, window [][]float
 	return m, nil
 }
 
+// pointScorer is the optional single-row fast path of a Model:
+// *hics.Model implements it, so a warm detector scores one arrival
+// without building the per-call slice headers and worker-pool machinery
+// of a batch scoring pass. Batch and point scores are identical — the
+// batch path calls the same per-point function.
+type pointScorer interface {
+	Score(point []float64) (float64, error)
+}
+
 // Push feeds one arriving row. The row is validated (width and
 // finiteness, errors naming the arrival and attribute), scored against
 // the current model, appended to the window, and — every RefitEvery
@@ -198,31 +207,39 @@ func (d *Detector) timedRefit(ctx context.Context, mode string, window [][]float
 // window), so a stream can recover from a deadlined refit by pushing on
 // with a fresh context. Push must not be called concurrently.
 func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
+	return d.PushAppend(ctx, row, nil)
+}
+
+// PushAppend is Push appending the scored results to out and returning
+// the extended slice — the allocation-free form for serving hot paths,
+// which pass the same backing slice on every call. Semantics are
+// otherwise identical to Push.
+func (d *Detector) PushAppend(ctx context.Context, row []float64, out []Result) ([]Result, error) {
 	d.mu.Lock()
 	closed, sticky := d.closed, d.err
 	d.mu.Unlock()
 	if closed {
-		return nil, errors.New("stream: detector is closed")
+		return out, errors.New("stream: detector is closed")
 	}
 	if sticky != nil {
-		return nil, sticky
+		return out, sticky
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return out, err
 	}
 	idx := d.count
 	if len(row) == 0 {
-		return nil, fmt.Errorf("stream: row %d is empty", idx)
+		return out, fmt.Errorf("stream: row %d is empty", idx)
 	}
 	if d.dims == 0 {
 		d.dims = len(row)
 	}
 	if len(row) != d.dims {
-		return nil, fmt.Errorf("stream: row %d has %d attributes, want %d", idx, len(row), d.dims)
+		return out, fmt.Errorf("stream: row %d has %d attributes, want %d", idx, len(row), d.dims)
 	}
 	for j, v := range row {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("stream: row %d attribute %d is %v, want a finite value", idx, j, v)
+			return out, fmt.Errorf("stream: row %d attribute %d is %v, want a finite value", idx, j, v)
 		}
 	}
 	d.count++
@@ -239,24 +256,23 @@ func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
 		// can lose its promised result.
 		d.append(row)
 		if len(d.buf) < d.window {
-			return nil, nil
+			return out, nil
 		}
 		win := d.chrono(false)
 		m, err := d.timedRefit(ctx, "initial", win)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		scores, err := m.ScoreBatchContext(ctx, win)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		d.model.Store(&m)
 		d.sinceFit = 0
 		refits := int(d.refits.Load())
 		first := d.count - len(scores)
-		out := make([]Result, len(scores))
 		for i, s := range scores {
-			out[i] = Result{Index: first + i, Score: s, Refits: refits}
+			out = append(out, Result{Index: first + i, Score: s, Refits: refits})
 		}
 		return out, nil
 	}
@@ -266,11 +282,24 @@ func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
 	// the documented contract that an arrival consumed by a failing push
 	// stays in the window.
 	d.append(row)
-	scores, err := (*cur).ScoreBatchContext(ctx, [][]float64{row})
-	if err != nil {
-		return nil, err
+	base := len(out)
+	var score float64
+	if ps, ok := (*cur).(pointScorer); ok {
+		// Single-point fast path: same per-point scoring function as the
+		// batch pass, minus its slice allocations and fan-out bookkeeping.
+		s, err := ps.Score(row)
+		if err != nil {
+			return out, err
+		}
+		score = s
+	} else {
+		scores, err := (*cur).ScoreBatchContext(ctx, [][]float64{row})
+		if err != nil {
+			return out, err
+		}
+		score = scores[0]
 	}
-	out := []Result{{Index: idx, Score: scores[0], Refits: int(d.refits.Load())}}
+	out = append(out, Result{Index: idx, Score: score, Refits: int(d.refits.Load())})
 	d.sinceFit++
 	if d.refitEvery > 0 && d.sinceFit >= d.refitEvery && len(d.buf) == d.window {
 		// Triggers on a part-filled window are deferred (sinceFit keeps
@@ -279,7 +308,9 @@ func (d *Detector) Push(ctx context.Context, row []float64) ([]Result, error) {
 		if d.async {
 			d.tryAsyncRefit()
 		} else if err := d.syncRefit(ctx); err != nil {
-			return nil, err
+			// The arrival is consumed but its result is withheld, exactly
+			// like Push: the caller sees the slice it passed in.
+			return out[:base], err
 		}
 	}
 	return out, nil

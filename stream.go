@@ -84,6 +84,10 @@ type StreamResult struct {
 // when done.
 type Stream struct {
 	det *stream.Detector
+	// rbuf is the internal result scratch PushAppend scores into before
+	// converting to StreamResult. Owned by the Push goroutine (a stream
+	// is single-pusher by contract), so reuse across calls is safe.
+	rbuf []stream.Result
 }
 
 // NewStream starts a cold streaming detector: the first Window arrivals
@@ -200,6 +204,24 @@ func (s *Stream) Push(ctx context.Context, row []float64) ([]StreamResult, error
 	out := make([]StreamResult, len(rs))
 	for i, r := range rs {
 		out[i] = StreamResult{Index: r.Index, Score: r.Score, Refits: r.Refits}
+	}
+	return out, nil
+}
+
+// PushAppend is the allocation-free form of Push for serving hot paths:
+// results for the arrival are appended to out (which may be nil) and the
+// extended slice returned. A warm stream appends at most one result per
+// call and allocates nothing beyond out's own growth, so a caller
+// reusing out[:0] across calls pays zero steady-state allocations. On
+// error out is returned unchanged, exactly as passed in.
+func (s *Stream) PushAppend(ctx context.Context, row []float64, out []StreamResult) ([]StreamResult, error) {
+	rs, err := s.det.PushAppend(ctx, row, s.rbuf[:0])
+	s.rbuf = rs[:0]
+	if err != nil || len(rs) == 0 {
+		return out, err
+	}
+	for _, r := range rs {
+		out = append(out, StreamResult{Index: r.Index, Score: r.Score, Refits: r.Refits})
 	}
 	return out, nil
 }
