@@ -7,6 +7,7 @@
 //	hicsd -model model.hics [-addr :8080] [-request-timeout 1m] [-workers N]
 //	      [-stream-window N] [-stream-refit-every N] [-stream-async]
 //	      [-stream-max-bytes N] [-max-streams N] [-debug-addr :6060]
+//	      [-trace-sample P] [-trace-slow-ms N] [-trace-export FILE]
 //	      [-log-format text|json] [-log-level debug|info|warn|error]
 //	hicsd -models-dir DIR [-manifest FILE] [-admin-token TOKEN] [...]
 //	hicsd -role shard -model model.hics [-drain-announce 3s] [...]
@@ -74,6 +75,9 @@
 //	                  per-model metadata gauges, shard routing state on
 //	                  fronts (see docs/metrics.md)
 //	GET  /debug/vars  legacy expvar view over the same registry
+//	GET  /debug/traces  recently completed distributed traces as JSON,
+//	                  newest first; ?min_ms= filters by duration,
+//	                  ?limit= bounds the count (see docs/operations.md)
 //
 // -debug-addr starts net/http/pprof on a separate listener — profiling
 // never shares the serving port, so it can stay firewalled to operators
@@ -121,6 +125,7 @@ import (
 	"hics/internal/fleet"
 	"hics/internal/serve"
 	"hics/internal/shard"
+	"hics/internal/trace"
 )
 
 func main() {
@@ -159,6 +164,9 @@ func run(ctx context.Context, args []string) error {
 		maxStreams  = fs.Int("max-streams", 0, "admission cap on concurrently open /stream sessions for the -model default model (0 = unlimited); excess sessions get 429 + Retry-After")
 		logFormat   = fs.String("log-format", "text", "structured log encoding on stderr: text or json")
 		logLevel    = fs.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		traceSample = fs.Float64("trace-sample", 1, "head-sampling probability for distributed traces in [0,1]; 0 keeps only errored and slow traces; sampled traces are served at GET /debug/traces")
+		traceSlowMS = fs.Int("trace-slow-ms", 500, "always keep a trace whose root span runs at least this many milliseconds, regardless of sampling (0 = no slow keep)")
+		traceExport = fs.String("trace-export", "", "append every kept span to this file as NDJSON, one JSON object per line (empty = no export)")
 		version     = fs.Bool("version", false, "print the version and exit")
 	)
 	fs.Usage = func() {
@@ -180,6 +188,11 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	closeTrace, err := configureTracing(*traceSample, *traceSlowMS, *traceExport)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	if *debugAddr != "" {
 		stopDebug, err := serveDebug(*debugAddr, logger)
 		if err != nil {
@@ -227,6 +240,39 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("-role must be standalone, shard or front, got %q", *role)
 	}
+}
+
+// configureTracing applies the -trace-* flags to the process tracer.
+// The flag surface maps onto trace.Config's sentinels: -trace-sample 0
+// means "never head-sample" (Config needs a negative for that; its own
+// zero means the sample-everything default), and -trace-slow-ms 0
+// disables the slow keep the same way. The returned closer flushes and
+// closes the export file, if any.
+func configureTracing(sample float64, slowMS int, export string) (func(), error) {
+	if sample < 0 || sample > 1 {
+		return nil, fmt.Errorf("-trace-sample must be in [0,1], got %v", sample)
+	}
+	if slowMS < 0 {
+		return nil, fmt.Errorf("-trace-slow-ms must be non-negative, got %d (0 disables the slow keep)", slowMS)
+	}
+	cfg := trace.Config{Sample: sample, SlowThreshold: time.Duration(slowMS) * time.Millisecond}
+	if sample == 0 {
+		cfg.Sample = -1
+	}
+	if slowMS == 0 {
+		cfg.SlowThreshold = -1
+	}
+	closer := func() {}
+	if export != "" {
+		f, err := os.OpenFile(export, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("-trace-export: %w", err)
+		}
+		cfg.Export = f
+		closer = func() { _ = f.Close() }
+	}
+	trace.Default.Configure(cfg)
+	return closer, nil
 }
 
 // splitShards parses the -shards list, dropping empty segments.

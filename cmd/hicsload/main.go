@@ -8,6 +8,7 @@
 //	hicsload -target http://host:8080 [-mode stream|score] [-sessions N]
 //	         [-rows N] [-rate R] [-dim D] [-model NAME] [-session-key session]
 //	         [-key-prefix load] [-seed N] [-max-retries N] [-timeout 5m]
+//	         [-trace]
 //	hicsload -version
 //
 // The human summary prints to stderr; stdout carries exactly one JSON
@@ -29,6 +30,13 @@
 // session keys hicsload generates are exactly what the front's
 // rendezvous router hashes, so a multi-shard topology spreads the
 // sessions without any extra flags.
+//
+// With -trace every session (stream mode) or request (score mode)
+// carries a W3C traceparent minted deterministically from -seed, and
+// the summary lists the distinct trace IDs behind the p99-slowest
+// measurements — paste one into the target's GET /debug/traces to see
+// span-by-span where the time went. Tracing never changes the rows: the
+// trace identities draw from a separate random stream.
 package main
 
 import (
@@ -70,10 +78,11 @@ func run(ctx context.Context, args []string, stdout, stderr *os.File) error {
 		seed       = fs.Uint64("seed", 1, "row-generation seed (reproducible load)")
 		maxRetries = fs.Int("max-retries", 50, "429 admission retries per session before counting an error")
 		timeout    = fs.Duration("timeout", 5*time.Minute, "overall run budget (0 = none)")
+		traceOn    = fs.Bool("trace", false, "send a W3C traceparent per session/request and report the p99-slowest trace IDs (look them up at the server's GET /debug/traces)")
 		version    = fs.Bool("version", false, "print the version and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hicsload -target http://host:8080 [-mode stream|score] [-sessions N] [-rows N] [-rate R] [-dim D] [-model NAME] [-session-key session] [-key-prefix load] [-seed N] [-max-retries N] [-timeout 5m]")
+		fmt.Fprintln(fs.Output(), "usage: hicsload -target http://host:8080 [-mode stream|score] [-sessions N] [-rows N] [-rate R] [-dim D] [-model NAME] [-session-key session] [-key-prefix load] [-seed N] [-max-retries N] [-timeout 5m] [-trace]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +117,7 @@ func run(ctx context.Context, args []string, stdout, stderr *os.File) error {
 		KeyPrefix:  *keyPrefix,
 		Seed:       *seed,
 		MaxRetries: *maxRetries,
+		Trace:      *traceOn,
 	})
 	if err != nil {
 		return err

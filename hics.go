@@ -531,4 +531,4 @@ func FitScorerNames() []string { return registry.FitScorerNames() }
 // truth for version reporting: the hicsd /healthz and /info responses,
 // the `hics -version` and `hicsd -version` flags, and the README all
 // derive from this constant.
-const Version = "1.8.0"
+const Version = "1.9.0"

@@ -8,6 +8,7 @@ import (
 	"hics/internal/parallel"
 	"hics/internal/rng"
 	"hics/internal/subspace"
+	"hics/internal/trace"
 )
 
 // SearchResult carries the outcome of a HiCS subspace search.
@@ -61,31 +62,49 @@ func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*SearchR
 	eval := NewEvaluator(ds, p)
 	base := rng.New(p.Seed)
 
+	// The search span covers the whole Apriori loop; each level's Monte
+	// Carlo contrast pass gets a child span carrying its candidate and
+	// pruning counts. Both are free (nil spans) outside a traced
+	// request, and never consume randomness — the determinism contract
+	// (ctx checks do not perturb the RNG stream) extends to tracing.
+	ctx, span := trace.StartSpan(ctx, "search.subspaces")
+	defer span.End()
+
 	result := &SearchResult{}
 	var pool []subspace.Scored
 
 	candidates := subspace.AllPairs(ds.D())
 	for len(candidates) > 0 {
+		lctx, lspan := trace.StartSpan(ctx, "search.contrast_level")
+		lspan.SetAttr("dim", candidates[0].Dim())
+		lspan.SetAttr("candidates", len(candidates))
 		var (
 			scored []subspace.Scored
 			err    error
 		)
 		if p.AdaptiveM {
 			var spent, nPruned int
-			scored, spent, nPruned, err = scoreAllAdaptive(ctx, eval, base, candidates, p)
+			scored, spent, nPruned, err = scoreAllAdaptive(lctx, eval, base, candidates, p)
 			if err == nil {
 				result.MCIterations += spent
 				result.PrunedEarly += nPruned
+				lspan.SetAttr("mc_iterations", spent)
+				lspan.SetAttr("pruned_early", nPruned)
 			}
 		} else {
-			scored, err = scoreAll(ctx, eval, base, candidates, p.Workers)
+			scored, err = scoreAll(lctx, eval, base, candidates, p.Workers)
 			if err == nil {
 				result.MCIterations += len(scored) * p.M
+				lspan.SetAttr("mc_iterations", len(scored)*p.M)
 			}
 		}
 		if err != nil {
+			lspan.SetError(err)
+			lspan.End()
+			span.SetError(err)
 			return nil, err
 		}
+		lspan.End()
 		result.Evaluated += len(scored)
 		mCandidates.Add(int64(len(scored)))
 		mMCBudget.Add(int64(len(scored) * p.M))
@@ -111,6 +130,11 @@ func SearchContext(ctx context.Context, ds *dataset.Dataset, p Params) (*SearchR
 	result.Subspaces = subspace.TopK(pool, p.TopK)
 	mMCIterations.Add(int64(result.MCIterations))
 	mCandidatesPruned.Add(int64(result.PrunedEarly))
+	span.SetAttr("evaluated", result.Evaluated)
+	span.SetAttr("mc_iterations", result.MCIterations)
+	span.SetAttr("pruned_early", result.PrunedEarly)
+	span.SetAttr("levels", len(result.Levels))
+	span.SetAttr("subspaces", len(result.Subspaces))
 	return result, nil
 }
 

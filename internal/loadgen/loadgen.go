@@ -21,6 +21,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 
 	"hics/internal/metrics"
 	"hics/internal/rng"
+	"hics/internal/trace"
 )
 
 // Load-generator instrumentation, registered in the shared registry so
@@ -85,6 +87,12 @@ type Config struct {
 	// MaxRetries bounds the 429 admission retries per session
 	// (default 50).
 	MaxRetries int
+	// Trace sends a W3C traceparent with every session (stream mode:
+	// one trace per session attempt) or request (score mode), minted
+	// deterministically from Seed, and reports the trace IDs behind the
+	// p99-slowest latencies — the IDs to paste into the server's
+	// GET /debug/traces to see where the time went.
+	Trace bool
 	// Client performs the requests; nil uses a streaming-safe default
 	// (no global timeout — sessions are long-lived by design).
 	Client *http.Client
@@ -158,6 +166,16 @@ type Report struct {
 	AdmissionRetries int64       `json:"admission_retries"`
 	RowsPerSecond    float64     `json:"rows_per_second"`
 	LatencyMS        Percentiles `json:"latency_ms"`
+	// SlowTraces lists the distinct trace IDs behind the slowest
+	// latencies at or above p99, slowest first, when tracing was on.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
+}
+
+// SlowTrace ties a slow measurement to the distributed trace that can
+// explain it.
+type SlowTrace struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // Human renders the operator-facing summary.
@@ -177,6 +195,16 @@ func (r *Report) Human() string {
 		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Max)
 	fmt.Fprintf(&b, "  errors           %d\n", r.Errors)
 	fmt.Fprintf(&b, "  admission 429s   %d\n", r.AdmissionRetries)
+	if len(r.SlowTraces) > 0 {
+		b.WriteString("  p99+ traces      ")
+		for i, st := range r.SlowTraces {
+			if i > 0 {
+				b.WriteString("\n                   ")
+			}
+			fmt.Fprintf(&b, "%s (%.2f ms)", st.TraceID, st.LatencyMS)
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }
 
@@ -187,6 +215,30 @@ type sessionResult struct {
 	errors    int64
 	retries   int64
 	latencies []float64 // milliseconds
+	// traceIDs parallels latencies when Config.Trace is on: the trace
+	// each measurement rode in (one per session attempt in stream mode,
+	// one per request in score mode).
+	traceIDs []string
+}
+
+// traceRNGLabel derives the trace-identity stream from a worker's seed.
+// It is distinct from the row stream, so -trace never perturbs the
+// generated data: a traced run sends byte-identical rows.
+const traceRNGLabel = 0x74726163 // "trac"
+
+// mintSpanContext draws a sampled trace identity from r. Zero IDs are
+// invalid per W3C, so it redraws on the (cosmically unlikely) zero.
+func mintSpanContext(r *rng.RNG) trace.SpanContext {
+	var sc trace.SpanContext
+	for sc.TraceID.IsZero() {
+		binary.BigEndian.PutUint64(sc.TraceID[:8], r.Uint64())
+		binary.BigEndian.PutUint64(sc.TraceID[8:], r.Uint64())
+	}
+	for sc.SpanID.IsZero() {
+		binary.BigEndian.PutUint64(sc.SpanID[:], r.Uint64())
+	}
+	sc.Sampled = true
+	return sc
 }
 
 // Run executes the configured load and aggregates the report. It
@@ -225,21 +277,55 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		DurationSeconds: elapsed.Seconds(),
 	}
 	var all []float64
+	var samples []SlowTrace
 	for _, r := range results {
 		rep.RowsSent += r.rowsSent
 		rep.RecordsReceived += r.records
 		rep.Errors += r.errors
 		rep.AdmissionRetries += r.retries
 		all = append(all, r.latencies...)
+		for i, id := range r.traceIDs {
+			samples = append(samples, SlowTrace{TraceID: id, LatencyMS: r.latencies[i]})
+		}
 	}
 	if elapsed > 0 {
 		rep.RowsPerSecond = float64(rep.RecordsReceived) / elapsed.Seconds()
 	}
 	rep.LatencyMS = percentiles(all)
+	rep.SlowTraces = slowTraces(samples, rep.LatencyMS.P99)
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// slowTraces selects the distinct traces measured at or above the p99
+// latency, slowest first, capped at five so the summary stays readable.
+// In stream mode one session trace can carry many slow rows; only its
+// slowest measurement is reported.
+func slowTraces(samples []SlowTrace, p99 float64) []SlowTrace {
+	slices.SortFunc(samples, func(a, b SlowTrace) int {
+		switch {
+		case a.LatencyMS > b.LatencyMS:
+			return -1
+		case a.LatencyMS < b.LatencyMS:
+			return 1
+		}
+		return strings.Compare(a.TraceID, b.TraceID)
+	})
+	seen := make(map[string]bool)
+	var out []SlowTrace
+	for _, s := range samples {
+		if s.LatencyMS < p99 || seen[s.TraceID] {
+			continue
+		}
+		seen[s.TraceID] = true
+		out = append(out, s)
+		if len(out) == 5 {
+			break
+		}
+	}
+	return out
 }
 
 // percentiles computes the latency quantiles of a sample set.
@@ -284,12 +370,22 @@ type streamRecord struct {
 // admission refusals under rotated keys.
 func runStreamSession(ctx context.Context, cfg Config, worker int) sessionResult {
 	var res sessionResult
+	var traceRNG *rng.RNG
+	if cfg.Trace {
+		traceRNG = rng.New(cfg.Seed + uint64(worker)*1000003).Derive(traceRNGLabel)
+	}
 	for attempt := 0; ; attempt++ {
 		key := fmt.Sprintf("%s-%d", cfg.KeyPrefix, worker)
 		if attempt > 0 {
 			key = fmt.Sprintf("%s-r%d", key, attempt)
 		}
-		retryAfter, done := streamOnce(ctx, cfg, worker, key, &res)
+		var sc trace.SpanContext
+		if cfg.Trace {
+			// A fresh trace per attempt: a retried session must not
+			// splice its spans into the refused attempt's trace.
+			sc = mintSpanContext(traceRNG)
+		}
+		retryAfter, done := streamOnce(ctx, cfg, worker, key, sc, &res)
 		if done {
 			return res
 		}
@@ -311,7 +407,7 @@ func runStreamSession(ctx context.Context, cfg Config, worker int) sessionResult
 
 // streamOnce runs a single session attempt. It returns done=false only
 // for a retryable admission refusal, with the server-requested backoff.
-func streamOnce(ctx context.Context, cfg Config, worker int, key string, res *sessionResult) (retryAfter time.Duration, done bool) {
+func streamOnce(ctx context.Context, cfg Config, worker int, key string, sc trace.SpanContext, res *sessionResult) (retryAfter time.Duration, done bool) {
 	q := url.Values{}
 	q.Set(cfg.KeyParam, key)
 	if cfg.Model != "" {
@@ -327,6 +423,9 @@ func streamOnce(ctx context.Context, cfg Config, worker int, key string, res *se
 		return 0, true
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if sc.Valid() {
+		req.Header.Set("Traceparent", sc.Traceparent())
+	}
 
 	sendTimes := make([]time.Time, cfg.Rows)
 	var sent int64
@@ -387,10 +486,10 @@ func streamOnce(ctx context.Context, cfg Config, worker int, key string, res *se
 		mErrors.With("status").Inc()
 		return 0, true
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		lineBytes := bytes.TrimSpace(sc.Bytes())
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for scan.Scan() {
+		lineBytes := bytes.TrimSpace(scan.Bytes())
 		if len(lineBytes) == 0 {
 			continue
 		}
@@ -415,10 +514,13 @@ func streamOnce(ctx context.Context, cfg Config, worker int, key string, res *se
 		if i := *rec.Index; i >= 0 && i < len(sendTimes) && !sendTimes[i].IsZero() {
 			lat := time.Since(sendTimes[i])
 			res.latencies = append(res.latencies, float64(lat)/float64(time.Millisecond))
+			if sc.Valid() {
+				res.traceIDs = append(res.traceIDs, sc.TraceID.String())
+			}
 			mLatency.Observe(lat.Seconds())
 		}
 	}
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
+	if err := scan.Err(); err != nil && ctx.Err() == nil {
 		res.errors++
 		mErrors.With("read").Inc()
 	}
@@ -434,6 +536,10 @@ func runScoreWorker(ctx context.Context, cfg Config, worker int) sessionResult {
 		target += "?model=" + url.QueryEscape(cfg.Model)
 	}
 	r := rng.New(cfg.Seed + uint64(worker)*1000003)
+	var traceRNG *rng.RNG
+	if cfg.Trace {
+		traceRNG = rng.New(cfg.Seed + uint64(worker)*1000003).Derive(traceRNGLabel)
+	}
 	point := make([]float64, cfg.Dim)
 	for i := 0; i < cfg.Rows; i++ {
 		if ctx.Err() != nil {
@@ -443,6 +549,10 @@ func runScoreWorker(ctx context.Context, cfg Config, worker int) sessionResult {
 			point[d] = r.Float64()
 		}
 		body, _ := json.Marshal(map[string]any{"point": point})
+		var sc trace.SpanContext
+		if cfg.Trace {
+			sc = mintSpanContext(traceRNG)
+		}
 		retries := 0
 	attempt:
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
@@ -452,6 +562,9 @@ func runScoreWorker(ctx context.Context, cfg Config, worker int) sessionResult {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if sc.Valid() {
+			req.Header.Set("Traceparent", sc.Traceparent())
+		}
 		sentAt := time.Now()
 		res.rowsSent++
 		mRowsSent.Inc()
@@ -469,6 +582,9 @@ func runScoreWorker(ctx context.Context, cfg Config, worker int) sessionResult {
 			res.records++
 			mRecords.Inc()
 			res.latencies = append(res.latencies, float64(lat)/float64(time.Millisecond))
+			if sc.Valid() {
+				res.traceIDs = append(res.traceIDs, sc.TraceID.String())
+			}
 			mLatency.Observe(lat.Seconds())
 		case resp.StatusCode == http.StatusTooManyRequests && retries < cfg.MaxRetries:
 			retries++

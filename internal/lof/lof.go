@@ -28,6 +28,7 @@ import (
 
 	"hics/internal/dataset"
 	"hics/internal/neighbors"
+	"hics/internal/trace"
 )
 
 // DefaultMinPts is the LOF neighborhood size used throughout the paper's
@@ -60,6 +61,21 @@ func ScoresWith(ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind
 func ScoresContext(ctx context.Context, ds *dataset.Dataset, dims []int, minPts int, kind neighbors.Kind, workers int) ([]float64, error) {
 	_, scores, err := FitContext(ctx, ds, dims, minPts, kind, workers)
 	return scores, err
+}
+
+// buildIndex constructs the neighbor index under a trace span, so a
+// traced request shows each per-subspace index build as its own phase
+// (the dominant cost for the tree and LSH backends). ctx carries only
+// the span — index construction is not cancellable.
+func buildIndex(ctx context.Context, ds *dataset.Dataset, dims []int, kind neighbors.Kind) (neighbors.Index, error) {
+	_, span := trace.StartSpan(ctx, "neighbors.build")
+	span.SetAttr("kind", kind.String())
+	span.SetAttr("dims", len(dims))
+	span.SetAttr("objects", ds.N())
+	idx, err := neighbors.New(ds, dims, kind)
+	span.SetError(err)
+	span.End()
+	return idx, err
 }
 
 // Fitted is the frozen state of a LOF fit on one subspace: the neighbor
@@ -98,7 +114,7 @@ func FitContext(ctx context.Context, ds *dataset.Dataset, dims []int, minPts int
 	if minPts < 1 {
 		minPts = DefaultMinPts
 	}
-	idx, err := neighbors.New(ds, dims, kind)
+	idx, err := buildIndex(ctx, ds, dims, kind)
 	if err != nil {
 		return nil, nil, fmt.Errorf("lof: %w", err)
 	}
@@ -287,7 +303,7 @@ func FitKNNContext(ctx context.Context, ds *dataset.Dataset, dims []int, k int, 
 	if k < 1 {
 		k = DefaultMinPts
 	}
-	idx, err := neighbors.New(ds, dims, kind)
+	idx, err := buildIndex(ctx, ds, dims, kind)
 	if err != nil {
 		return nil, nil, fmt.Errorf("lof: %w", err)
 	}

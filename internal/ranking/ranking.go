@@ -24,6 +24,7 @@ import (
 	"hics/internal/neighbors"
 	"hics/internal/pca"
 	"hics/internal/subspace"
+	"hics/internal/trace"
 )
 
 // SubspaceSearcher is step 1: select projections worth ranking in.
@@ -435,17 +436,25 @@ func (p Pipeline) RankContext(ctx context.Context, ds *dataset.Dataset) (*Result
 	}
 	acc := newAccumulator(p.Agg, ds.N())
 	cs, cancellable := scorer.(ContextScorer)
+	// One span covers the whole per-subspace scoring pass; individual
+	// neighbor-index builds inside the scorer open their own children.
+	sctx, span := trace.StartSpan(ctx, "ranking.score")
+	span.SetAttr("scorer", scorer.Name())
+	span.SetAttr("subspaces", len(subspaces))
+	defer span.End()
 	for _, sc := range subspaces {
 		if err := ctx.Err(); err != nil {
+			span.SetError(err)
 			return nil, err
 		}
 		var scores []float64
 		if cancellable {
-			scores, err = cs.ScoreContext(ctx, ds, sc.S, p.Workers)
+			scores, err = cs.ScoreContext(sctx, ds, sc.S, p.Workers)
 		} else {
 			scores, err = scorer.Score(ds, sc.S)
 		}
 		if err != nil {
+			span.SetError(err)
 			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
 				return nil, err
 			}
@@ -504,18 +513,26 @@ func (p Pipeline) FitContext(ctx context.Context, ds *dataset.Dataset) (*FittedP
 	fitted := make([]FittedScorer, len(subspaces))
 	acc := newAccumulator(p.Agg, ds.N())
 	cfs, cancellable := scorer.(ContextFitScorer)
+	// The fitting pass mirrors RankContext's scoring span; per-subspace
+	// neighbor-index builds nest underneath.
+	fctx, span := trace.StartSpan(ctx, "ranking.fit")
+	span.SetAttr("scorer", scorer.Name())
+	span.SetAttr("subspaces", len(subspaces))
+	defer span.End()
 	for j, sc := range subspaces {
 		if err := ctx.Err(); err != nil {
+			span.SetError(err)
 			return nil, err
 		}
 		var f FittedScorer
 		var scores []float64
 		if cancellable {
-			f, scores, err = cfs.FitContext(ctx, ds, sc.S, p.Workers)
+			f, scores, err = cfs.FitContext(fctx, ds, sc.S, p.Workers)
 		} else {
 			f, scores, err = fs.Fit(ds, sc.S)
 		}
 		if err != nil {
+			span.SetError(err)
 			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
 				return nil, err
 			}

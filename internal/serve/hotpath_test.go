@@ -16,6 +16,7 @@ import (
 
 	"hics"
 	"hics/internal/rng"
+	"hics/internal/trace"
 )
 
 // TestAppendRowMatchesJSON: every canonical row the fast parser accepts
@@ -184,13 +185,31 @@ func TestAppendStreamRecordMatchesMarshal(t *testing.T) {
 // in steady state. This is the allocation budget that makes /stream
 // worth sharding: the serving loop adds zero GC pressure per row.
 func TestStreamHotPathAllocs(t *testing.T) {
+	runHotPathAllocs(t, context.Background())
+}
+
+// TestStreamHotPathAllocsTraced: the same budget holds inside a traced
+// request. Spans are per-session and per-refit, never per-row, so a
+// live sampled span in the context must not cost the hot path a single
+// allocation.
+func TestStreamHotPathAllocsTraced(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	ctx, span := tr.StartRoot(context.Background(), "test.hotpath", trace.SpanContext{}, trace.TraceID{})
+	defer span.End()
+	if trace.SpanFromContext(ctx) == nil {
+		t.Fatal("context does not carry the root span")
+	}
+	runHotPathAllocs(t, ctx)
+}
+
+func runHotPathAllocs(t *testing.T, ctx context.Context) {
+	t.Helper()
 	m := fitModel(t)
 	st, err := m.NewStream(hics.StreamOptions{Window: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	ctx := context.Background()
 	line := []byte("[0.31,0.29,0.55,0.45]\n")
 	var (
 		row     []float64

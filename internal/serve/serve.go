@@ -22,6 +22,7 @@ import (
 	"hics"
 	"hics/internal/fleet"
 	"hics/internal/metrics"
+	"hics/internal/trace"
 )
 
 // Instrumentation, registered once into the process-wide metrics
@@ -57,14 +58,15 @@ var (
 // unknown path (404 traffic) collapses into "other" so scrape
 // cardinality cannot grow with abuse.
 var endpoints = map[string]string{
-	"/healthz":    "healthz",
-	"/info":       "info",
-	"/score":      "score",
-	"/rank":       "rank",
-	"/stream":     "stream",
-	"/models":     "models",
-	"/metrics":    "metrics",
-	"/debug/vars": "debug_vars",
+	"/healthz":      "healthz",
+	"/info":         "info",
+	"/score":        "score",
+	"/rank":         "rank",
+	"/stream":       "stream",
+	"/models":       "models",
+	"/metrics":      "metrics",
+	"/debug/vars":   "debug_vars",
+	"/debug/traces": "debug_traces",
 }
 
 func endpointLabel(path string) string {
@@ -122,6 +124,12 @@ type Config struct {
 	// endpoint-specific events, all carrying the per-request ID the
 	// middleware generates. Nil discards all logging.
 	Logger *slog.Logger
+	// Tracer records a distributed trace per request: the middleware
+	// opens a root span (continuing an inbound traceparent when
+	// present), handlers and the compute layers hang phase spans off
+	// it, and completed traces are served at GET /debug/traces. Nil
+	// uses the process-global trace.Default.
+	Tracer *trace.Tracer
 }
 
 // logger resolves the configured logger, discarding when unset.
@@ -130,6 +138,14 @@ func (cfg Config) logger() *slog.Logger {
 		return cfg.Logger
 	}
 	return slog.New(slog.DiscardHandler)
+}
+
+// tracer resolves the configured tracer, defaulting to trace.Default.
+func (cfg Config) tracer() *trace.Tracer {
+	if cfg.Tracer != nil {
+		return cfg.Tracer
+	}
+	return trace.Default
 }
 
 // ctxKey keys the request-scoped values the middleware injects.
@@ -179,6 +195,37 @@ func newRequestID() string {
 		return "unknown"
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// requestID honors an inbound X-Request-Id (so the front's ID — or a
+// client's own — survives the hop and both processes' logs join on one
+// value) and mints a fresh ID otherwise. Inbound values are accepted
+// only when short and token-shaped: IDs land verbatim in logs and
+// response headers, so arbitrary client bytes must not pass through.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if validRequestID(id) {
+		return id
+	}
+	return newRequestID()
+}
+
+// validRequestID bounds inbound request IDs to 1..64 characters of
+// [0-9A-Za-z._-].
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // statusWriter records the response status for the request log and the
@@ -471,23 +518,34 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
 	mux.Handle("/metrics", metrics.Default.Handler())
 	mux.HandleFunc("/debug/vars", debugVars)
+	mux.Handle("GET /debug/traces", cfg.tracer().Handler())
 
 	// Observability middleware wraps the whole mux so every endpoint —
-	// including 404s — is counted, timed and logged. Each request gets a
-	// random ID, carried in the context (RequestID) and on the
-	// request-scoped logger, so endpoint events — including async refit
-	// goroutines outliving their /stream push — stay attributable. The
-	// handler reports its resolved model through the shared requestInfo,
-	// read back here after ServeHTTP returns on the same goroutine.
+	// including 404s — is counted, timed, logged and traced. Each
+	// request gets an ID (an inbound X-Request-Id is honored so hops
+	// correlate; otherwise minted), carried in the context (RequestID)
+	// and on the request-scoped logger, so endpoint events — including
+	// async refit goroutines outliving their /stream push — stay
+	// attributable. A root span opens per request: an inbound
+	// traceparent makes this hop a child of the caller's span (the
+	// front→shard path), and a fresh trace reuses the request ID as its
+	// trace ID so logs and /debug/traces join on one value. The handler
+	// reports its resolved model through the shared requestInfo, read
+	// back here after ServeHTTP returns on the same goroutine.
 	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := newRequestID()
-		log := cfg.logger().With("request_id", id)
+		id := requestID(r)
+		endpoint := endpointLabel(r.URL.Path)
+		remote, _ := trace.Extract(r.Header)
+		ctx, span := cfg.tracer().StartRoot(r.Context(), "serve."+endpoint, remote, trace.TraceIDFromString(id))
+		log := cfg.logger().With("request_id", id,
+			"trace_id", span.TraceIDString(), "span_id", span.SpanIDString())
 		ri := &requestInfo{}
-		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		ctx = context.WithValue(ctx, requestIDKey, id)
 		ctx = context.WithValue(ctx, loggerKey, log)
 		ctx = context.WithValue(ctx, requestInfoKey, ri)
 		sw := &statusWriter{ResponseWriter: w}
+		w.Header().Set("X-Request-Id", id)
 		mux.ServeHTTP(sw, r.WithContext(ctx))
 		status := sw.status
 		if status == 0 {
@@ -495,8 +553,17 @@ func NewServer(cfg Config) *Server {
 			// stream; net/http would have sent 200.
 			status = http.StatusOK
 		}
-		endpoint := endpointLabel(r.URL.Path)
 		elapsed := time.Since(start)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		span.SetAttr("status", status)
+		if ri.model != "" {
+			span.SetAttr("model", ri.model)
+		}
+		if status >= 500 {
+			span.SetError(fmt.Errorf("status %d", status))
+		}
+		span.End()
 		mRequests.With(endpoint, strconv.Itoa(status), ri.model).Inc()
 		mDuration.With(endpoint).Observe(elapsed.Seconds())
 		log.Info("request",

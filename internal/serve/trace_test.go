@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hics/internal/trace"
+)
+
+// traceServer builds a handler over its own Tracer so tests never share
+// ring state with trace.Default (or with each other).
+func traceServer(t *testing.T, cfg trace.Config) (*httptest.Server, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New(cfg)
+	srv := httptest.NewServer(New(Config{Model: fitModel(t), RequestTimeout: time.Minute, Tracer: tr}))
+	t.Cleanup(srv.Close)
+	return srv, tr
+}
+
+// getTraces fetches and decodes GET /debug/traces.
+func getTraces(t *testing.T, url string) []trace.TraceData {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces status %d", resp.StatusCode)
+	}
+	var out []trace.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTraceEndToEnd: a /rank carrying a W3C traceparent must produce
+// one trace under that exact trace ID, rooted at serve.rank with the
+// caller's span as parent, whose children cover the compute phases —
+// subspace search, per-level contrast, and the scoring pass.
+func TestTraceEndToEnd(t *testing.T) {
+	srv, _ := traceServer(t, trace.Config{})
+	body, err := json.Marshal(RankRequest{Rows: rankRows(120), Options: RankOptions{M: 10, Seed: 1, TopK: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	const parentID = "b7ad6b7169203331"
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/rank", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", "00-"+traceID+"-"+parentID+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/rank status %d", resp.StatusCode)
+	}
+
+	traces := getTraces(t, srv.URL)
+	if len(traces) != 1 {
+		t.Fatalf("%d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if td.TraceID != traceID {
+		t.Fatalf("trace ID %s, want the inbound %s", td.TraceID, traceID)
+	}
+	if td.Root != "serve.rank" {
+		t.Errorf("root span %q, want serve.rank", td.Root)
+	}
+	if td.DroppedSpans != 0 {
+		t.Errorf("%d spans dropped, want 0", td.DroppedSpans)
+	}
+	byName := map[string]trace.SpanData{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["serve.rank"]
+	if !ok {
+		t.Fatalf("no serve.rank span in %v", td.Spans)
+	}
+	if root.ParentID != parentID {
+		t.Errorf("root parent %s, want the caller's span %s", root.ParentID, parentID)
+	}
+	for _, name := range []string{"search.subspaces", "search.contrast_level", "ranking.score"} {
+		child, ok := byName[name]
+		if !ok {
+			t.Errorf("missing %s span; have %d spans", name, len(td.Spans))
+			continue
+		}
+		if child.ParentID == "" {
+			t.Errorf("%s has no parent", name)
+		}
+	}
+	if got := byName["search.subspaces"].ParentID; got != root.SpanID {
+		t.Errorf("search.subspaces parent %s, want the root %s", got, root.SpanID)
+	}
+}
+
+// TestTraceFallsBackToRequestID: without an inbound traceparent the
+// trace ID derives from the request ID — an inbound X-Request-Id maps
+// to the same trace ID on every hop, so logs and traces join on it.
+func TestTraceFallsBackToRequestID(t *testing.T) {
+	srv, _ := traceServer(t, trace.Config{})
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "client-chosen-id-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chosen-id-42" {
+		t.Errorf("X-Request-Id echoed %q, want the inbound value", got)
+	}
+	traces := getTraces(t, srv.URL)
+	if len(traces) != 1 {
+		t.Fatalf("%d traces, want 1", len(traces))
+	}
+	want := trace.TraceIDFromString("client-chosen-id-42").String()
+	if traces[0].TraceID != want {
+		t.Errorf("trace ID %s, want %s (derived from the request ID)", traces[0].TraceID, want)
+	}
+	// A second request under the same ID maps to the same trace ID.
+	if again := trace.TraceIDFromString("client-chosen-id-42").String(); again != want {
+		t.Errorf("request-ID derivation not deterministic: %s vs %s", again, want)
+	}
+}
+
+// TestTraceRequestIDRejectsGarbage: an inbound X-Request-Id that is not
+// short and token-shaped is replaced, never echoed back.
+func TestTraceRequestIDRejectsGarbage(t *testing.T) {
+	srv, _ := traceServer(t, trace.Config{})
+	for _, bad := range []string{"", "has space", "semi;colon", strings.Repeat("a", 80)} {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != "" {
+			req.Header.Set("X-Request-Id", bad)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-Id"); got == bad || got == "" {
+			t.Errorf("inbound %q: response ID %q, want a fresh minted ID", bad, got)
+		}
+	}
+}
+
+// TestTraceMinMSFilter: ?min_ms= hides fast traces from the listing.
+func TestTraceMinMSFilter(t *testing.T) {
+	srv, _ := traceServer(t, trace.Config{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	r2, err := http.Get(srv.URL + "/debug/traces?min_ms=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var out []trace.TraceData
+	if err := json.NewDecoder(r2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("%d traces above 60s, want 0", len(out))
+	}
+	r3, err := http.Get(srv.URL + "/debug/traces?min_ms=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad min_ms status %d, want 400", r3.StatusCode)
+	}
+}
+
+// TestTraceSampledOutStreamStays: with head sampling off, an unerrored
+// fast request leaves nothing in the ring — only errors and slow roots
+// are tail-kept.
+func TestTraceSampledOutKeepsErrors(t *testing.T) {
+	srv, _ := traceServer(t, trace.Config{Sample: -1})
+	// A fast, successful request: sampled out.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := getTraces(t, srv.URL); len(got) != 0 {
+		t.Fatalf("%d traces after a sampled-out request, want 0", len(got))
+	}
+}

@@ -3,6 +3,8 @@ package shard
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +17,7 @@ import (
 
 	"hics"
 	"hics/internal/metrics"
+	"hics/internal/trace"
 )
 
 // maxUnaryProxyBytes caps a buffered /score, /rank or /info proxy body;
@@ -33,6 +36,10 @@ type FrontConfig struct {
 	SessionKeyParam string
 	// Logger receives proxy events. Nil discards them.
 	Logger *slog.Logger
+	// Tracer records a span per proxied request and injects traceparent
+	// toward the shards, so one trace covers front and shard. Nil uses
+	// the process-global trace.Default.
+	Tracer *trace.Tracer
 }
 
 // Front is the stateless routing tier: an http.Handler that proxies
@@ -45,6 +52,7 @@ type Front struct {
 	router   *Router
 	keyParam string
 	log      *slog.Logger
+	tracer   *trace.Tracer
 	mux      *http.ServeMux
 }
 
@@ -61,10 +69,15 @@ func NewFront(cfg FrontConfig) *Front {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
-	f := &Front{router: cfg.Router, keyParam: keyParam, log: log}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.Default
+	}
+	f := &Front{router: cfg.Router, keyParam: keyParam, log: log, tracer: tracer}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", f.handleHealthz)
 	mux.Handle("/metrics", metrics.Default.Handler())
+	mux.Handle("GET /debug/traces", tracer.Handler())
 	mux.HandleFunc("/stream", f.handleStream)
 	mux.HandleFunc("/score", f.handleUnary)
 	mux.HandleFunc("/rank", f.handleUnary)
@@ -73,8 +86,118 @@ func NewFront(cfg FrontConfig) *Front {
 	return f
 }
 
+// frontCtxKey keys the request-scoped values the front middleware
+// injects: the request ID and the annotated logger.
+type frontCtxKey int
+
+const (
+	frontRequestIDKey frontCtxKey = iota
+	frontLoggerKey
+)
+
+// reqID returns the request's ID, or "" outside the middleware.
+func reqID(ctx context.Context) string {
+	id, _ := ctx.Value(frontRequestIDKey).(string)
+	return id
+}
+
+// reqLog returns the request-scoped logger (annotated with request,
+// trace and span IDs), falling back to the front's base logger.
+func (f *Front) reqLog(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(frontLoggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return f.log
+}
+
+// frontStatusWriter records the response status for the completion log.
+// Unwrap keeps http.ResponseController (EnableFullDuplex, flushing)
+// working through the wrapper; the explicit Flush preserves the
+// http.Flusher fast path the stream relay uses.
+type frontStatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *frontStatusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *frontStatusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *frontStatusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *frontStatusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// ServeHTTP is the front's observability middleware: every request gets
+// an ID (an inbound X-Request-Id is honored, otherwise minted), a root
+// span (continuing an inbound traceparent when a caller sent one, else
+// reusing the request ID as trace ID) and a request-scoped logger
+// carrying all three IDs — so a front log line and the owning shard's
+// log line for the same request share one trace_id.
 func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	f.mux.ServeHTTP(w, r)
+	start := time.Now()
+	id := frontRequestID(r)
+	remote, _ := trace.Extract(r.Header)
+	ctx, span := f.tracer.StartRoot(r.Context(), "front."+strings.TrimPrefix(r.URL.Path, "/"), remote, trace.TraceIDFromString(id))
+	log := f.log.With("request_id", id,
+		"trace_id", span.TraceIDString(), "span_id", span.SpanIDString())
+	ctx = context.WithValue(ctx, frontRequestIDKey, id)
+	ctx = context.WithValue(ctx, frontLoggerKey, log)
+	sw := &frontStatusWriter{ResponseWriter: w}
+	w.Header().Set("X-Request-Id", id)
+	f.mux.ServeHTTP(sw, r.WithContext(ctx))
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	elapsed := time.Since(start)
+	span.SetAttr("method", r.Method)
+	span.SetAttr("path", r.URL.Path)
+	span.SetAttr("status", status)
+	if status >= 500 {
+		span.SetError(fmt.Errorf("status %d", status))
+	}
+	span.End()
+	log.Info("request", "method", r.Method, "path", r.URL.Path,
+		"status", status, "duration", elapsed)
+}
+
+// frontRequestID honors a token-shaped inbound X-Request-Id and mints a
+// 16-hex-digit ID otherwise, mirroring the serve middleware's rule.
+func frontRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if n := len(id); n >= 1 && n <= 64 {
+		ok := true
+		for i := 0; i < n; i++ {
+			c := id[i]
+			if (c < '0' || c > '9') && (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') &&
+				c != '.' && c != '_' && c != '-' {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Key returns the routing key of a request: the session-key query
@@ -149,15 +272,25 @@ func (f *Front) handleUnary(w http.ResponseWriter, r *http.Request) {
 			mShardReroutes.Inc()
 		}
 		tried++
-		resp, err := f.proxyOnce(r, shard, bytes.NewReader(body))
+		// One span per proxy attempt: a failover request shows each
+		// candidate shard tried, and the shard's own root span parents
+		// under the attempt that reached it.
+		pctx, psp := trace.StartSpan(r.Context(), "front.proxy")
+		psp.SetAttr("shard", shard)
+		psp.SetAttr("endpoint", endpoint)
+		psp.SetAttr("attempt", tried)
+		resp, err := f.proxyOnce(pctx, r, shard, bytes.NewReader(body))
 		if err != nil {
+			psp.SetError(err)
+			psp.End()
 			f.router.ReportFailure(shard)
-			f.log.Warn("unary proxy failed", "shard", shard, "endpoint", endpoint, "error", err)
+			f.reqLog(r.Context()).Warn("unary proxy failed", "shard", shard, "endpoint", endpoint, "error", err)
 			continue
 		}
 		f.router.ReportSuccess(shard)
 		mShardProxied.With(shard, endpoint).Inc()
 		relayResponse(w, resp)
+		psp.End()
 		return
 	}
 	w.Header().Set("Retry-After", "5")
@@ -169,14 +302,28 @@ func (f *Front) handleUnary(w http.ResponseWriter, r *http.Request) {
 }
 
 // proxyOnce forwards one buffered request to shard and returns its
-// response.
-func (f *Front) proxyOnce(r *http.Request, shard string, body io.Reader) (*http.Response, error) {
-	out, err := http.NewRequestWithContext(r.Context(), r.Method, shardURL(shard, r.URL), body)
+// response. ctx carries the attempt's span, which becomes the shard's
+// parent via the injected traceparent.
+func (f *Front) proxyOnce(ctx context.Context, r *http.Request, shard string, body io.Reader) (*http.Response, error) {
+	out, err := http.NewRequestWithContext(ctx, r.Method, shardURL(shard, r.URL), body)
 	if err != nil {
 		return nil, err
 	}
 	copyProxyHeaders(out.Header, r.Header)
+	f.decorate(ctx, out.Header)
 	return f.router.client.Do(out)
+}
+
+// decorate stamps the outgoing hop with this request's identity: the
+// front's request ID (covering requests that arrived without one) and
+// the current span's traceparent, overriding whatever copyProxyHeaders
+// carried over so the shard parents under the front's span rather than
+// the client's.
+func (f *Front) decorate(ctx context.Context, h http.Header) {
+	if id := reqID(ctx); id != "" {
+		h.Set("X-Request-Id", id)
+	}
+	trace.Inject(ctx, h)
 }
 
 // handleStream proxies one NDJSON session to the owning shard with
@@ -209,10 +356,16 @@ func (f *Front) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if rerouted {
-		f.log.Info("stream rerouted past owner", "key", key, "shard", shard)
+		f.reqLog(r.Context()).Info("stream rerouted past owner", "key", key, "shard", shard)
 	}
-	out, err := http.NewRequestWithContext(r.Context(), http.MethodPost, shardURL(shard, r.URL), r.Body)
+	pctx, psp := trace.StartSpan(r.Context(), "front.proxy")
+	psp.SetAttr("shard", shard)
+	psp.SetAttr("endpoint", "stream")
+	psp.SetAttr("rerouted", rerouted)
+	defer psp.End()
+	out, err := http.NewRequestWithContext(pctx, http.MethodPost, shardURL(shard, r.URL), r.Body)
 	if err != nil {
+		psp.SetError(err)
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
@@ -220,8 +373,10 @@ func (f *Front) handleStream(w http.ResponseWriter, r *http.Request) {
 	// as they arrive.
 	out.ContentLength = -1
 	copyProxyHeaders(out.Header, r.Header)
+	f.decorate(pctx, out.Header)
 	resp, err := f.router.client.Do(out)
 	if err != nil {
+		psp.SetError(err)
 		f.router.ReportFailure(shard)
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusBadGateway, errorBody{Error: fmt.Sprintf("shard %s unreachable: %v; reconnect to be rerouted", shard, err)})
@@ -286,9 +441,11 @@ func shardURL(shard string, u *url.URL) string {
 }
 
 // copyProxyHeaders forwards the headers that matter across the hop;
-// hop-by-hop headers stay behind.
+// hop-by-hop headers stay behind. Traceparent rides along so a client's
+// own trace context survives even when the front's tracer overrides it
+// with a more specific span via decorate.
 func copyProxyHeaders(dst, src http.Header) {
-	for _, k := range []string{"Content-Type", "Accept", "Authorization", "X-Request-Id"} {
+	for _, k := range []string{"Content-Type", "Accept", "Authorization", "X-Request-Id", "Traceparent"} {
 		if v := src.Get(k); v != "" {
 			dst.Set(k, v)
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hics/internal/metrics"
+	"hics/internal/trace"
 )
 
 // Detector-level instrumentation, shared by every stream in the process
@@ -164,6 +165,13 @@ func New(cfg Config) (*Detector, error) {
 // timedRefit runs the refit function with duration instrumentation and
 // structured logging; mode labels the metric and log record.
 func (d *Detector) timedRefit(ctx context.Context, mode string, window [][]float64) (Model, error) {
+	// One span per refit — never per row — so a traced /stream session
+	// shows its refits as children without touching the zero-alloc row
+	// path. Free (nil span) when the session is not traced.
+	ctx, span := trace.StartSpan(ctx, "stream.refit")
+	span.SetAttr("mode", mode)
+	span.SetAttr("window", len(window))
+	defer span.End()
 	start := time.Now()
 	m, err := d.refit(ctx, window)
 	elapsed := time.Since(start)
@@ -174,6 +182,7 @@ func (d *Detector) timedRefit(ctx context.Context, mode string, window [][]float
 			mRefitFailures.Inc()
 			d.log.Warn("stream refit failed", "mode", mode, "window", len(window),
 				"duration", elapsed, "error", err)
+			span.SetError(err)
 		}
 		return nil, err
 	}
@@ -306,7 +315,7 @@ func (d *Detector) PushAppend(ctx context.Context, row []float64, out []Result) 
 		// accumulating) until enough rows exist to refit on.
 		d.sinceFit = 0
 		if d.async {
-			d.tryAsyncRefit()
+			d.tryAsyncRefit(ctx)
 		} else if err := d.syncRefit(ctx); err != nil {
 			// The arrival is consumed but its result is withheld, exactly
 			// like Push: the caller sees the slice it passed in.
@@ -360,8 +369,11 @@ func (d *Detector) syncRefit(ctx context.Context) error {
 
 // tryAsyncRefit launches a background refit over a window snapshot,
 // unless one is already running (triggers coalesce: the next chance is
-// RefitEvery arrivals later).
-func (d *Detector) tryAsyncRefit() {
+// RefitEvery arrivals later). ctx is the triggering push's context,
+// used only to link the refit span into the session's trace — the
+// refit itself runs under the detector's lifecycle context, so a
+// request deadline cannot abort a background fit.
+func (d *Detector) tryAsyncRefit(ctx context.Context) {
 	d.mu.Lock()
 	if d.inflight || d.closed {
 		d.mu.Unlock()
@@ -373,10 +385,14 @@ func (d *Detector) tryAsyncRefit() {
 	d.mu.Unlock()
 
 	snap := d.chrono(true)
+	// Carry the session's span (if any) onto the lifecycle context so
+	// the async refit appears in the trace while cancellation still
+	// follows the detector, not the triggering push.
+	rctx := trace.ContextWithSpan(d.baseCtx, trace.SpanFromContext(ctx))
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		m, err := d.timedRefit(d.baseCtx, "async", snap)
+		m, err := d.timedRefit(rctx, "async", snap)
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		defer close(done)
